@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: four-hop Stache message routing vs SGI-Origin-style
+ * three-hop forwarding (§2.1).
+ *
+ * The paper asserts that protocols which forward the owner's data
+ * directly to the requester "should have no first-order effect on
+ * coherence prediction's usability". Forwarding does change the
+ * observation streams -- a cache now receives data responses from
+ * *other caches*, not just its home directory, so the cache side
+ * loses its fixed-sender property -- and this bench quantifies how
+ * much that costs Cosmos, alongside the latency the protocol gains.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cosmos/predictor_bank.hh"
+#include "harness/experiment.hh"
+
+int
+main()
+{
+    using namespace cosmos;
+    bench::banner(
+        "Ablation: 4-hop (Stache) vs 3-hop forwarding; depth-2 "
+        "Cosmos accuracy and protocol latency");
+
+    TextTable table;
+    table.setHeader({"App", "C/D/O (4-hop)", "C/D/O (3-hop)",
+                     "time (4-hop)", "time (3-hop)", "time saved"});
+
+    for (const auto &app : bench::apps) {
+        double acc[2][3];
+        Tick times[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            harness::RunConfig cfg;
+            cfg.app = app;
+            cfg.iterations = app == "dsmc" ? 150 : -1;
+            cfg.machine.forwarding = mode == 1;
+            cfg.checkInvariants = false;
+            auto result = harness::runWorkload(cfg);
+            pred::PredictorBank bank(result.trace.numNodes,
+                                     pred::CosmosConfig{2, 0});
+            bank.replay(result.trace);
+            acc[mode][0] = bank.accuracy().cacheSide().percent();
+            acc[mode][1] = bank.accuracy().directorySide().percent();
+            acc[mode][2] = bank.accuracy().overall().percent();
+            times[mode] = result.finalTime;
+        }
+        auto cdo = [&](int mode) {
+            return TextTable::num(acc[mode][0], 0) + "/" +
+                   TextTable::num(acc[mode][1], 0) + "/" +
+                   TextTable::num(acc[mode][2], 0);
+        };
+        const double saved =
+            100.0 * (1.0 - static_cast<double>(times[1]) /
+                               static_cast<double>(times[0]));
+        table.addRow({app, cdo(0), cdo(1), TextTable::num(times[0]),
+                      TextTable::num(times[1]),
+                      TextTable::num(saved, 1) + "%"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "\nThe paper's §2.1 expectation holds when the overall "
+        "accuracy moves by\nonly a few points between routing "
+        "schemes, while 3-hop routing shortens\nthe owner-hand-off "
+        "critical path.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation: machine size. The paper evaluates a fixed 16-node target;
+ * here each application runs on 4, 16, and 64 nodes (with its
+ * decomposition scaled to match) and we measure depth-2 Cosmos
+ * accuracy per side.
+ *
+ * Expected shape: cache-side accuracy is nearly flat -- a Stache
+ * cache always hears from one home directory regardless of machine
+ * size -- while directory-side accuracy erodes as the sharer/sender
+ * population grows, and the 12-bit sender field of the paper's
+ * two-byte tuple stays sufficient throughout.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cosmos/predictor_bank.hh"
+#include "harness/experiment.hh"
+#include "workloads/appbt.hh"
+#include "workloads/barnes.hh"
+#include "workloads/dsmc.hh"
+#include "workloads/moldyn.hh"
+#include "workloads/unstructured.hh"
+
+namespace
+{
+
+using namespace cosmos;
+
+std::unique_ptr<wl::Workload>
+makeScaled(const std::string &app, NodeId nodes)
+{
+    const unsigned side = nodes == 4 ? 2 : nodes == 16 ? 4 : 8;
+    if (app == "appbt") {
+        wl::AppBtParams p;
+        p.px = side;
+        p.py = side;
+        p.nx = side * 4;
+        p.ny = side * 4;
+        p.iterations = 20;
+        return std::make_unique<wl::AppBt>(p);
+    }
+    if (app == "barnes") {
+        wl::BarnesParams p;
+        p.nbodies = 32u * nodes;
+        p.iterations = 12;
+        return std::make_unique<wl::Barnes>(p);
+    }
+    if (app == "dsmc") {
+        wl::DsmcParams p;
+        p.procsX = side;
+        p.procsY = side;
+        p.cellsX = side * 4;
+        p.cellsY = side * 4;
+        p.particles = 100u * nodes;
+        p.iterations = 60;
+        return std::make_unique<wl::Dsmc>(p);
+    }
+    if (app == "moldyn") {
+        wl::MoldynParams p;
+        p.tilesX = side;
+        p.tilesY = side;
+        p.molecules = 25u * nodes;
+        p.iterations = 20;
+        return std::make_unique<wl::Moldyn>(p);
+    }
+    wl::UnstructuredParams p;
+    p.meshNodes = 32u * nodes;
+    p.iterations = 20;
+    return std::make_unique<wl::Unstructured>(p);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ablation: machine size; Cosmos depth-2 accuracy "
+        "(cache / directory / overall)");
+
+    TextTable table;
+    table.setHeader({"App", "4 nodes", "16 nodes", "64 nodes"});
+    for (const auto &app : bench::apps) {
+        std::vector<std::string> row = {app};
+        for (NodeId nodes : {NodeId{4}, NodeId{16}, NodeId{64}}) {
+            harness::RunConfig cfg;
+            cfg.machine.numNodes = nodes;
+            cfg.checkInvariants = false;
+            auto workload = makeScaled(app, nodes);
+            auto result = harness::runWorkload(cfg, *workload);
+
+            pred::PredictorBank bank(nodes, pred::CosmosConfig{2, 0});
+            bank.replay(result.trace);
+            const auto &acc = bank.accuracy();
+            row.push_back(TextTable::num(acc.cacheSide().percent(), 0) +
+                          "/" +
+                          TextTable::num(
+                              acc.directorySide().percent(), 0) +
+                          "/" +
+                          TextTable::num(acc.overall().percent(), 0));
+        }
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: the §4.4 analytic execution model
+ * translating prediction accuracy into program speedup,
+ *
+ *   speedup = 1 / (p*f + (1-p)*(1+r)),
+ *
+ * plotted as speedup-percentage curves over the residual-delay
+ * fraction f, one curve per mis-prediction penalty r, at the
+ * figure's p = 0.8. The paper's calibration point -- 56% speedup at
+ * f = 0.3, r = 1 -- is printed explicitly.
+ */
+
+#include <cstdio>
+
+#include "accel/speedup_model.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace cosmos;
+    bench::banner(
+        "Figure 5: speedup (%) from the execution model at p = 0.8");
+
+    const double penalties[] = {0.0, 0.25, 0.5, 1.0};
+
+    TextTable table;
+    std::vector<std::string> header = {"f"};
+    for (double r : penalties)
+        header.push_back("r=" + TextTable::num(r, 2));
+    table.setHeader(header);
+
+    for (unsigned i = 0; i <= 10; ++i) {
+        const double f = i / 10.0;
+        std::vector<std::string> row = {TextTable::num(f, 1)};
+        for (double r : penalties) {
+            row.push_back(TextTable::num(
+                accel::speedupPercent({0.8, f, r}), 1));
+        }
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    const double calib = accel::speedupPercent({0.8, 0.3, 1.0});
+    std::printf("\npaper calibration point: p=0.8, f=0.3, r=1.0 -> "
+                "paper: 56%%, ours: %.0f%%\n",
+                calib);
+
+    bench::banner(
+        "Same model evaluated at each application's measured depth-2 "
+        "accuracy (f = 0.3, r = 0.5)");
+    // Use the paper's Table 5 depth-2 overall accuracy so this bench
+    // needs no simulation; bench_speculation does the measured run.
+    const int depth2_overall[] = {85, 69, 86, 86, 88};
+    TextTable t2;
+    t2.setHeader({"App", "p (Table 5, depth 2)", "speedup %"});
+    for (std::size_t a = 0; a < bench::apps.size(); ++a) {
+        const double p = depth2_overall[a] / 100.0;
+        t2.addRow({bench::apps[a], TextTable::num(p, 2),
+                   TextTable::num(
+                       accel::speedupPercent({p, 0.3, 0.5}), 1)});
+    }
+    std::fputs(t2.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Table 5: Cosmos prediction rates (percent hits) at
+ * the cache (C), directory (D), and overall (O), for MHR depths 1-4,
+ * across the five applications.
+ *
+ * One simulation per application; the four predictor depths replay
+ * the same trace, exactly like the paper's offline methodology.
+ *
+ * Shape criteria (DESIGN.md §4): barnes lowest overall; dsmc highest
+ * at depth >= 3; unstructured gains the most from depth; C > D for
+ * every application at depth 1.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cosmos/predictor_bank.hh"
+#include "harness/trace_cache.hh"
+
+int
+main()
+{
+    using namespace cosmos;
+    bench::banner(
+        "Table 5: Cosmos prediction rates (% hits); C = cache, "
+        "D = directory, O = overall");
+
+    TextTable table;
+    std::vector<std::string> header = {"Depth"};
+    for (const auto &app : bench::apps) {
+        header.push_back(app + ":C");
+        header.push_back("D");
+        header.push_back("O");
+    }
+    table.setHeader(header);
+
+    // Paper rows for side-by-side comparison.
+    for (unsigned depth = 1; depth <= 4; ++depth) {
+        std::vector<std::string> row = {"paper " +
+                                        std::to_string(depth)};
+        for (std::size_t a = 0; a < bench::apps.size(); ++a) {
+            const auto &cdo = bench::paper_table5[a][depth - 1];
+            for (int v : cdo)
+                row.push_back(std::to_string(v));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+
+    for (unsigned depth = 1; depth <= 4; ++depth) {
+        std::vector<std::string> row = {"ours  " +
+                                        std::to_string(depth)};
+        for (const auto &app : bench::apps) {
+            const auto &trace = harness::cachedTrace(app);
+            pred::PredictorBank bank(trace.numNodes,
+                                     pred::CosmosConfig{depth, 0});
+            bank.replay(trace);
+            const auto &acc = bank.accuracy();
+            row.push_back(
+                TextTable::num(acc.cacheSide().percent(), 0));
+            row.push_back(
+                TextTable::num(acc.directorySide().percent(), 0));
+            row.push_back(TextTable::num(acc.overall().percent(), 0));
+        }
+        table.addRow(row);
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\ntrace sizes:\n");
+    for (const auto &app : bench::apps) {
+        const auto &trace = harness::cachedTrace(app);
+        std::printf("  %-13s %8zu messages, %6zu blocks, %d iterations\n",
+                    app.c_str(), trace.records.size(),
+                    trace.distinctBlocks(), trace.iterations);
+    }
+    return 0;
+}

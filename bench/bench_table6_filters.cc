@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Table 6: overall prediction accuracy as the noise
+ * filter's saturating-counter maximum varies over {0, 1, 2}, at MHR
+ * depths 1 and 2.
+ *
+ * Shape criterion (§3.6/§6.2): filters buy a few points at depth 1
+ * and essentially nothing at depth 2, because history already adapts
+ * to the noise the filter merely suppresses.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cosmos/predictor_bank.hh"
+#include "harness/trace_cache.hh"
+
+int
+main()
+{
+    using namespace cosmos;
+    bench::banner(
+        "Table 6: overall prediction rate (%) vs filter maximum "
+        "count, MHR depth 1-2");
+
+    TextTable table;
+    std::vector<std::string> header = {"Depth"};
+    for (const auto &app : bench::apps) {
+        header.push_back(app + ":0");
+        header.push_back("1");
+        header.push_back("2");
+    }
+    table.setHeader(header);
+
+    for (unsigned depth = 1; depth <= 2; ++depth) {
+        std::vector<std::string> row = {"paper " +
+                                        std::to_string(depth)};
+        for (std::size_t a = 0; a < bench::apps.size(); ++a)
+            for (int f = 0; f < 3; ++f)
+                row.push_back(std::to_string(
+                    bench::paper_table6[a][depth - 1][f]));
+        table.addRow(row);
+    }
+    table.addSeparator();
+
+    for (unsigned depth = 1; depth <= 2; ++depth) {
+        std::vector<std::string> row = {"ours  " +
+                                        std::to_string(depth)};
+        for (const auto &app : bench::apps) {
+            const auto &trace = harness::cachedTrace(app);
+            for (unsigned filter = 0; filter <= 2; ++filter) {
+                pred::PredictorBank bank(
+                    trace.numNodes,
+                    pred::CosmosConfig{depth, filter});
+                bank.replay(trace);
+                row.push_back(TextTable::num(
+                    bank.accuracy().overall().percent(), 0));
+            }
+        }
+        table.addRow(row);
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

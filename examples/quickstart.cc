@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: the paper's §3.1 walk-through in ~80 lines.
+ *
+ * 1. Build the 16-node target machine (Table 3 defaults).
+ * 2. Run a producer-consumer micro-workload on it (Figure 2's
+ *    shared_counter pattern).
+ * 3. Attach a depth-1 Cosmos predictor bank to the captured trace and
+ *    watch it learn the signature.
+ *
+ * Run:  ./quickstart
+ */
+
+#include <cstdio>
+
+#include "cosmos/predictor_bank.hh"
+#include "harness/experiment.hh"
+#include "workloads/micro.hh"
+
+int
+main()
+{
+    using namespace cosmos;
+
+    // --- 1. machine + workload -----------------------------------
+    harness::RunConfig cfg;
+    cfg.machine.numNodes = 16; // the paper's target (Table 3)
+
+    wl::ProducerConsumerParams params;
+    params.blocks = 4;     // four shared_counter-style blocks
+    params.consumers = 1;  // one consumer (Figure 2)
+    params.iterations = 30;
+    wl::ProducerConsumerMicro workload(params);
+
+    std::printf("simulating %d iterations of a producer-consumer "
+                "pattern on %u nodes...\n",
+                params.iterations, cfg.machine.numNodes);
+    auto result = harness::runWorkload(cfg, workload);
+    std::printf("captured %zu coherence messages (%s)\n\n",
+                result.trace.records.size(),
+                result.network.format().c_str());
+
+    // --- 2. show the incoming-message signature of block 0 -------
+    std::printf("first messages received by the home directory for "
+                "block 0 (the Figure 2b signature):\n");
+    int shown = 0;
+    const Addr block0 = result.trace.records.front().block;
+    for (const auto &r : result.trace.records) {
+        if (r.block != block0 || r.role != proto::Role::directory)
+            continue;
+        std::printf("  <P%u, %s>\n", r.sender, proto::toString(r.type));
+        if (++shown == 8)
+            break;
+    }
+
+    // --- 3. replay through Cosmos --------------------------------
+    pred::PredictorBank bank(cfg.machine.numNodes,
+                             pred::CosmosConfig{/*depth=*/1,
+                                                /*filterMax=*/0});
+    bank.replay(result.trace);
+
+    const auto &acc = bank.accuracy();
+    std::printf("\nCosmos (MHR depth 1, no filter):\n");
+    std::printf("  cache-side accuracy:     %5.1f%%\n",
+                acc.cacheSide().percent());
+    std::printf("  directory-side accuracy: %5.1f%%\n",
+                acc.directorySide().percent());
+    std::printf("  overall accuracy:        %5.1f%%  (%llu "
+                "predictions)\n",
+                acc.overall().percent(),
+                static_cast<unsigned long long>(acc.overall().total));
+    std::printf("\nA stable sharing pattern produces a fixed message "
+                "signature, so the\ntwo-level predictor is nearly "
+                "perfect once warmed up -- the paper's core\n"
+                "observation.\n");
+    return 0;
+}

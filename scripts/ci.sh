@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local CI: configure, build (warnings as errors), test, and
+# smoke-run every bench and example.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DCOSMOS_WERROR=ON
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+    echo "== $b"
+    if [[ "$(basename "$b")" == bench_microperf ]]; then
+        "$b" --benchmark_min_time=0.05 > /dev/null
+    else
+        "$b" > /dev/null
+    fi
+done
+for e in build/examples/*; do
+    [[ -x "$e" && -f "$e" ]] || continue
+    echo "== $e"
+    "$e" > /dev/null
+done
+./build/tools/cosmos list > /dev/null
+echo "CI OK"

@@ -1,0 +1,77 @@
+#include "accel/action_map.hh"
+
+namespace cosmos::accel
+{
+
+using proto::MsgType;
+using proto::Role;
+
+const char *
+toString(Action a)
+{
+    switch (a) {
+      case Action::none:            return "none";
+      case Action::reply_exclusive: return "reply_exclusive";
+      case Action::self_invalidate: return "self_invalidate";
+      case Action::early_downgrade: return "early_downgrade";
+      case Action::forward_data:    return "forward_data";
+      case Action::prefetch:        return "prefetch";
+    }
+    return "?";
+}
+
+const char *
+toString(Recovery r)
+{
+    switch (r) {
+      case Recovery::none:                 return "none";
+      case Recovery::discard_future_state: return "discard_future_state";
+      case Recovery::checkpoint_rollback:  return "checkpoint_rollback";
+    }
+    return "?";
+}
+
+PlannedAction
+planAction(Role role, NodeId self, MsgType last_type,
+           const pred::MsgTuple &predicted)
+{
+    (void)self;
+    if (role == Role::directory) {
+        switch (predicted.type) {
+          case MsgType::upgrade_request:
+            // Read-modify-write: if the node that just read is
+            // predicted to upgrade, grant exclusive on the read.
+            if (last_type == MsgType::get_ro_request)
+                return {Action::reply_exclusive,
+                        Recovery::discard_future_state};
+            return {Action::none, Recovery::none};
+          case MsgType::get_ro_request:
+          case MsgType::get_rw_request:
+            // A miss from a known node is coming: push the data.
+            return {Action::forward_data,
+                    Recovery::discard_future_state};
+          default:
+            return {Action::none, Recovery::none};
+        }
+    }
+
+    // Cache-side predictions.
+    switch (predicted.type) {
+      case MsgType::inval_rw_request:
+      case MsgType::inval_ro_request:
+        // Our copy will be invalidated: self-invalidate early
+        // (dynamic self-invalidation; legal-state move).
+        return {Action::self_invalidate, Recovery::none};
+      case MsgType::downgrade_request:
+        return {Action::early_downgrade, Recovery::none};
+      case MsgType::get_ro_response:
+      case MsgType::get_rw_response:
+      case MsgType::upgrade_response:
+        // The local processor is about to miss on this block.
+        return {Action::prefetch, Recovery::checkpoint_rollback};
+      default:
+        return {Action::none, Recovery::none};
+    }
+}
+
+} // namespace cosmos::accel

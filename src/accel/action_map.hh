@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Mapping predicted coherence messages to protocol actions (§4.1,
+ * Table 2) and classifying each action's mis-prediction recovery
+ * requirement (§4.3).
+ */
+
+#ifndef COSMOS_ACCEL_ACTION_MAP_HH
+#define COSMOS_ACCEL_ACTION_MAP_HH
+
+#include <string>
+
+#include "cosmos/tuple.hh"
+#include "proto/messages.hh"
+
+namespace cosmos::accel
+{
+
+/** Speculative protocol actions a module can trigger (§4.1). */
+enum class Action
+{
+    none,
+    /**
+     * Directory: a read is predicted to be followed by a write from
+     * the same node (read-modify-write); answer the read with an
+     * exclusive copy.
+     */
+    reply_exclusive,
+    /**
+     * Cache: an invalidation of this block is predicted; replace the
+     * block to the directory early (dynamic self-invalidation).
+     */
+    self_invalidate,
+    /**
+     * Cache: a read by another node is predicted; downgrade the block
+     * and push data home early.
+     */
+    early_downgrade,
+    /**
+     * Directory: a read miss from a specific node is predicted;
+     * forward data to that node before its request arrives
+     * (producer-initiated communication).
+     */
+    forward_data,
+    /**
+     * Cache: a data response for this block is predicted (the local
+     * processor will miss on it); prefetch it now.
+     */
+    prefetch,
+};
+
+/** Recovery requirement classes of §4.3. */
+enum class Recovery
+{
+    /** Action moves the protocol between two legal states: no
+     *  recovery needed (at worst an extra miss). */
+    none,
+    /** Future protocol state is buffered and discarded on a
+     *  mis-prediction, never exposed to the processor. */
+    discard_future_state,
+    /** Processor and protocol both speculate; mis-prediction requires
+     *  checkpoint rollback. */
+    checkpoint_rollback,
+};
+
+/** A chosen action plus its recovery classification. */
+struct PlannedAction
+{
+    Action action = Action::none;
+    Recovery recovery = Recovery::none;
+};
+
+const char *toString(Action a);
+const char *toString(Recovery r);
+
+/**
+ * Decide the speculative action a module takes given a prediction.
+ *
+ * @param role       role of the predicting module
+ * @param self       node the predictor sits beside
+ * @param last_type  type of the message that triggered the prediction
+ * @param predicted  the predicted next incoming message
+ */
+PlannedAction planAction(proto::Role role, NodeId self,
+                         proto::MsgType last_type,
+                         const pred::MsgTuple &predicted);
+
+} // namespace cosmos::accel
+
+#endif // COSMOS_ACCEL_ACTION_MAP_HH

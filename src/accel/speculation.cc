@@ -1,0 +1,123 @@
+#include "accel/speculation.hh"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "cosmos/predictor_bank.hh"
+
+namespace cosmos::accel
+{
+
+double
+SpeculationReport::coverage() const
+{
+    return references == 0 ? 0.0
+                           : static_cast<double>(correct + wrong) /
+                                 static_cast<double>(references);
+}
+
+double
+SpeculationReport::actionAccuracy() const
+{
+    const std::uint64_t acted = correct + wrong;
+    return acted == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(acted);
+}
+
+double
+SpeculationReport::estimatedSpeedupPercent(double f, double r) const
+{
+    if (references == 0)
+        return 0.0;
+    const double n = static_cast<double>(references);
+    const double uncovered =
+        static_cast<double>(references - correct - wrong);
+    const double rel_time = (static_cast<double>(correct) * f +
+                             uncovered * 1.0 +
+                             static_cast<double>(wrong) * (1.0 + r)) /
+                            n;
+    return (1.0 / rel_time - 1.0) * 100.0;
+}
+
+std::string
+SpeculationReport::format() const
+{
+    std::ostringstream os;
+    os << "references=" << references << " actioned=" << actioned
+       << " correct=" << correct << " wrong=" << wrong << "\n";
+    for (const auto &[action, tally] : byAction) {
+        os << "  " << toString(action) << ": taken=" << tally.taken
+           << " correct=" << tally.correct << " wrong=" << tally.wrong
+           << "\n";
+    }
+    os << "  recovery: none=" << recovery.none
+       << " discard=" << recovery.discardFutureState
+       << " rollback=" << recovery.checkpointRollback << "\n";
+    return os.str();
+}
+
+SpeculationReport
+evaluateSpeculation(const trace::Trace &t, const pred::CosmosConfig &cfg)
+{
+    pred::PredictorBank bank(t.numNodes, cfg);
+    SpeculationReport rep;
+
+    // Last message type per (receiver, role, block): action planning
+    // needs the trigger message (§4.2).
+    std::unordered_map<std::uint64_t, proto::MsgType> last_type;
+    auto key = [](const trace::TraceRecord &r) {
+        return (static_cast<std::uint64_t>(r.receiver) << 48) |
+               (static_cast<std::uint64_t>(
+                    r.role == proto::Role::directory ? 1 : 0)
+                << 40) |
+               r.block;
+    };
+
+    for (const auto &r : t.records) {
+        auto &predictor = bank.predictor(r.receiver, r.role);
+        const auto prediction = predictor.predict(r.block);
+        const auto lt = last_type.find(key(r));
+
+        if (prediction && lt != last_type.end()) {
+            ++rep.references;
+            const PlannedAction plan =
+                planAction(r.role, r.receiver, lt->second, *prediction);
+            if (plan.action != Action::none) {
+                ++rep.actioned;
+                ActionTally &tally = rep.byAction[plan.action];
+                ++tally.taken;
+                const bool hit =
+                    prediction->sender == r.sender &&
+                    prediction->type == r.type;
+                if (hit) {
+                    ++rep.correct;
+                    ++tally.correct;
+                } else {
+                    ++rep.wrong;
+                    ++tally.wrong;
+                }
+                switch (plan.recovery) {
+                  case Recovery::none:
+                    ++rep.recovery.none;
+                    break;
+                  case Recovery::discard_future_state:
+                    ++rep.recovery.discardFutureState;
+                    break;
+                  case Recovery::checkpoint_rollback:
+                    ++rep.recovery.checkpointRollback;
+                    break;
+                }
+            }
+        } else if (lt != last_type.end()) {
+            // Lookup possible but no stored prediction yet.
+            ++rep.references;
+        }
+
+        last_type[key(r)] = r.type;
+        bank.observe(r);
+    }
+    return rep;
+}
+
+} // namespace cosmos::accel

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace-driven evaluation of prediction-triggered speculation.
+ *
+ * The paper stops short of integrating Cosmos into a timing protocol
+ * (§1) and instead offers the §4.4 execution model. This evaluator
+ * takes the same step the model does, but with measured quantities:
+ * it replays a trace through a Cosmos bank, plans the §4.1 action for
+ * every prediction, verifies each against the next actual message,
+ * and folds the tallies into the model:
+ *
+ *   relative time = ( correct*f + uncovered*1 + wrong*(1 + r) ) / N
+ *
+ * With full coverage (every message actioned) this reduces exactly to
+ * the paper's 1 / (p*f + (1-p)*(1+r)).
+ */
+
+#ifndef COSMOS_ACCEL_SPECULATION_HH
+#define COSMOS_ACCEL_SPECULATION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "accel/action_map.hh"
+#include "cosmos/cosmos_predictor.hh"
+#include "trace/trace.hh"
+
+namespace cosmos::accel
+{
+
+/** Outcome counts for one action kind. */
+struct ActionTally
+{
+    std::uint64_t taken = 0;
+    std::uint64_t correct = 0;
+    std::uint64_t wrong = 0;
+};
+
+/** Recovery-class exposure of a run. */
+struct RecoveryTally
+{
+    std::uint64_t none = 0;
+    std::uint64_t discardFutureState = 0;
+    std::uint64_t checkpointRollback = 0;
+};
+
+/** Results of evaluating speculation over one trace. */
+struct SpeculationReport
+{
+    std::uint64_t references = 0;   ///< counted predictor lookups
+    std::uint64_t actioned = 0;     ///< lookups that planned an action
+    std::uint64_t correct = 0;      ///< actions the next message confirmed
+    std::uint64_t wrong = 0;        ///< actions that mis-sped
+
+    std::map<Action, ActionTally> byAction;
+    RecoveryTally recovery;
+
+    /** Fraction of references with a confirmed action. */
+    double coverage() const;
+
+    /** Accuracy among actioned references. */
+    double actionAccuracy() const;
+
+    /**
+     * Model speedup percentage for residual-delay fraction @p f on
+     * confirmed actions and penalty @p r on wrong ones.
+     */
+    double estimatedSpeedupPercent(double f, double r) const;
+
+    /** Multi-line human-readable rendering. */
+    std::string format() const;
+};
+
+/** Replay @p t through a Cosmos bank of configuration @p cfg. */
+SpeculationReport evaluateSpeculation(const trace::Trace &t,
+                                      const pred::CosmosConfig &cfg);
+
+} // namespace cosmos::accel
+
+#endif // COSMOS_ACCEL_SPECULATION_HH

@@ -1,0 +1,47 @@
+#include "accel/speedup_model.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::accel
+{
+
+double
+relativeTime(const SpeedupParams &params)
+{
+    cosmos_assert(params.p >= 0.0 && params.p <= 1.0,
+                  "accuracy must be in [0, 1]");
+    cosmos_assert(params.f >= 0.0, "f must be non-negative");
+    cosmos_assert(params.r >= 0.0, "r must be non-negative");
+    return params.p * params.f + (1.0 - params.p) * (1.0 + params.r);
+}
+
+double
+speedup(const SpeedupParams &params)
+{
+    const double t = relativeTime(params);
+    cosmos_assert(t > 0.0, "degenerate model: zero relative time");
+    return 1.0 / t;
+}
+
+double
+speedupPercent(const SpeedupParams &params)
+{
+    return (speedup(params) - 1.0) * 100.0;
+}
+
+std::vector<SpeedupPoint>
+figure5Curve(double p, double r, unsigned steps)
+{
+    cosmos_assert(steps >= 2, "curve needs at least two samples");
+    std::vector<SpeedupPoint> curve;
+    curve.reserve(steps);
+    for (unsigned i = 0; i < steps; ++i) {
+        const double f =
+            static_cast<double>(i) / static_cast<double>(steps - 1);
+        curve.push_back(
+            {f, speedupPercent(SpeedupParams{p, f, r})});
+    }
+    return curve;
+}
+
+} // namespace cosmos::accel

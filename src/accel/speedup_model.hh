@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's analytic execution model (§4.4, Figure 5).
+ *
+ * If performance is determined purely by the number of coherence
+ * messages on the critical path, the speedup from prediction is
+ *
+ *   time(no prediction) / time(prediction)
+ *       = 1 / (p*f + (1 - p)*(1 + r))
+ *
+ * where p is prediction accuracy, f the fraction of delay remaining
+ * on correctly predicted messages (f = 0: fully overlapped), and r
+ * the mis-prediction penalty (r = 0.5: a mis-predicted message costs
+ * 1.5x a normal one).
+ */
+
+#ifndef COSMOS_ACCEL_SPEEDUP_MODEL_HH
+#define COSMOS_ACCEL_SPEEDUP_MODEL_HH
+
+#include <vector>
+
+namespace cosmos::accel
+{
+
+/** Inputs of the §4.4 model. */
+struct SpeedupParams
+{
+    double p = 0.8; ///< prediction accuracy in [0, 1]
+    double f = 0.3; ///< residual delay fraction on correct predictions
+    double r = 1.0; ///< mis-prediction penalty
+};
+
+/** Relative execution time with prediction (1.0 = no change). */
+double relativeTime(const SpeedupParams &params);
+
+/** Speedup factor: 1 / relativeTime. */
+double speedup(const SpeedupParams &params);
+
+/** Speedup as a percentage improvement (paper's "56%" example). */
+double speedupPercent(const SpeedupParams &params);
+
+/** One (f, speedup) sample of a Figure 5 curve. */
+struct SpeedupPoint
+{
+    double f;
+    double speedupPercent;
+};
+
+/**
+ * A Figure 5 curve: sweep f over [0, 1] at fixed p and r.
+ *
+ * @param p      prediction accuracy (the figure uses 0.8)
+ * @param r      mis-prediction penalty of this curve
+ * @param steps  number of samples (inclusive of endpoints)
+ */
+std::vector<SpeedupPoint> figure5Curve(double p, double r,
+                                       unsigned steps = 11);
+
+} // namespace cosmos::accel
+
+#endif // COSMOS_ACCEL_SPEEDUP_MODEL_HH

@@ -1,0 +1,25 @@
+#include "common/addr.hh"
+
+#include <bit>
+
+namespace cosmos
+{
+
+AddrMap::AddrMap(unsigned block_bytes, unsigned page_bytes, NodeId num_nodes)
+    : blockBytes_(block_bytes), pageBytes_(page_bytes), numNodes_(num_nodes)
+{
+    if (num_nodes == 0)
+        cosmos_fatal("AddrMap requires at least one node");
+    if (!std::has_single_bit(block_bytes))
+        cosmos_fatal("block size must be a power of two, got ",
+                     block_bytes);
+    if (!std::has_single_bit(page_bytes))
+        cosmos_fatal("page size must be a power of two, got ", page_bytes);
+    if (page_bytes < block_bytes)
+        cosmos_fatal("page size (", page_bytes,
+                     ") must be >= block size (", block_bytes, ")");
+    blockShift_ = std::countr_zero(block_bytes);
+    pageShift_ = std::countr_zero(page_bytes);
+}
+
+} // namespace cosmos

@@ -1,0 +1,45 @@
+#include "common/config.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cosmos
+{
+
+void
+MachineConfig::validate() const
+{
+    if (numNodes == 0)
+        cosmos_fatal("machine needs at least one node");
+    if (!std::has_single_bit(blockBytes))
+        cosmos_fatal("block size must be a power of two");
+    if (!std::has_single_bit(pageBytes) || pageBytes < blockBytes)
+        cosmos_fatal("page size must be a power of two >= block size");
+}
+
+std::string
+MachineConfig::summary() const
+{
+    std::ostringstream os;
+    os << numNodes << " nodes, " << blockBytes << "B blocks, "
+       << pageBytes << "B pages, net=" << networkLatency
+       << "ns, mem=" << memoryLatency << "ns, policy="
+       << toString(ownerReadPolicy);
+    return os.str();
+}
+
+const char *
+toString(OwnerReadPolicy policy)
+{
+    switch (policy) {
+      case OwnerReadPolicy::half_migratory:
+        return "half-migratory";
+      case OwnerReadPolicy::downgrade:
+        return "downgrade";
+    }
+    return "?";
+}
+
+} // namespace cosmos

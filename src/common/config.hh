@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Machine configuration, defaulted to the paper's Table 3 parameters.
+ */
+
+#ifndef COSMOS_COMMON_CONFIG_HH
+#define COSMOS_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace cosmos
+{
+
+/** Which remote-read-to-exclusive-owner policy the directory uses. */
+enum class OwnerReadPolicy
+{
+    /**
+     * Stache's half-migratory optimization (paper §5.1): a read or
+     * write miss to a block held exclusive elsewhere makes the
+     * directory ask the owner to *invalidate* (inval_rw_request), not
+     * to downgrade to shared.
+     */
+    half_migratory,
+
+    /**
+     * DASH-style: a read miss to a block held exclusive elsewhere
+     * downgrades the owner to shared (downgrade_request), keeping a
+     * read-only copy at the former owner. Used for the §6.1 ablation.
+     */
+    downgrade,
+};
+
+/**
+ * Parameters of the simulated target machine.
+ *
+ * Latencies are in nanoseconds (1 ns = 1 Tick); defaults follow the
+ * paper's Table 3: 16 single-processor nodes, 64-byte blocks, 1 MB
+ * direct-mapped caches (moot: Stache never replaces remote pages),
+ * 120 ns memory, 40 ns network, 60 ns network-interface access.
+ */
+struct MachineConfig
+{
+    NodeId numNodes = 16;
+    unsigned blockBytes = 64;
+    unsigned pageBytes = 4096;
+
+    Tick cacheHitLatency = 1;
+    Tick memoryLatency = 120;
+    Tick networkLatency = 40;
+    Tick networkInterfaceLatency = 60;
+
+    /**
+     * Directory/protocol-occupancy per handled message. Stache runs
+     * coherence handlers in software, so this is tens of ns.
+     */
+    Tick protocolOccupancy = 25;
+
+    OwnerReadPolicy ownerReadPolicy = OwnerReadPolicy::half_migratory;
+
+    /**
+     * Cache capacity in blocks; 0 = unbounded (Stache never replaces
+     * remote cache pages, §5.1). With a bound, read-only lines are
+     * silently dropped to make room -- an ablation showing how
+     * replacement disturbs the message signatures Cosmos learns.
+     */
+    unsigned cacheCapacityBlocks = 0;
+
+    /**
+     * Outstanding misses each processor may overlap (non-blocking
+     * caches, one of the latency-tolerance alternatives the paper's
+     * introduction lists). 1 = the paper's blocking target model.
+     */
+    unsigned memoryLevelParallelism = 1;
+
+    /**
+     * SGI-Origin-style forwarding (§2.1): on a miss to an exclusive
+     * block the former owner sends the data *directly* to the
+     * requester (three hops) instead of through the home (four).
+     * The paper expects "no first-order effect on coherence
+     * prediction's usability"; bench_ablation_forwarding checks.
+     */
+    bool forwarding = false;
+
+    /** Seed for all derived RNG streams. */
+    std::uint64_t seed = 0x5eedc05305ULL;
+
+    /** Validate invariants; calls cosmos_fatal on bad values. */
+    void validate() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+const char *toString(OwnerReadPolicy policy);
+
+} // namespace cosmos
+
+#endif // COSMOS_COMMON_CONFIG_HH

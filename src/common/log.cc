@@ -1,0 +1,48 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cosmos
+{
+
+namespace
+{
+std::atomic<bool> warnings_enabled{true};
+} // namespace
+
+void
+setWarningsEnabled(bool enabled)
+{
+    warnings_enabled.store(enabled);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (warnings_enabled.load())
+        std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace cosmos

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Error and status reporting, modelled after gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated: a cosmos bug. Aborts.
+ * fatal()  -- the user asked for something impossible (bad config).
+ *             Exits with an error code.
+ * warn()   -- something is suspicious but simulation can continue.
+ * inform() -- a plain status message.
+ */
+
+#ifndef COSMOS_COMMON_LOG_HH
+#define COSMOS_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace cosmos
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable/disable warn() output (tests silence it). */
+void setWarningsEnabled(bool enabled);
+
+namespace detail
+{
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace cosmos
+
+#define cosmos_panic(...)                                                  \
+    ::cosmos::panicImpl(__FILE__, __LINE__,                                \
+                        ::cosmos::detail::concat(__VA_ARGS__))
+
+#define cosmos_fatal(...)                                                  \
+    ::cosmos::fatalImpl(__FILE__, __LINE__,                                \
+                        ::cosmos::detail::concat(__VA_ARGS__))
+
+#define cosmos_warn(...)                                                   \
+    ::cosmos::warnImpl(__FILE__, __LINE__,                                 \
+                       ::cosmos::detail::concat(__VA_ARGS__))
+
+#define cosmos_inform(...)                                                 \
+    ::cosmos::informImpl(::cosmos::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define cosmos_assert(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::cosmos::panicImpl(                                           \
+                __FILE__, __LINE__,                                        \
+                ::cosmos::detail::concat("assertion failed: " #cond " ",   \
+                                         ##__VA_ARGS__));                  \
+        }                                                                  \
+    } while (false)
+
+#endif // COSMOS_COMMON_LOG_HH

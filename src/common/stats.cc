@@ -1,0 +1,63 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cosmos
+{
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Distribution::min() const
+{
+    return min_;
+}
+
+double
+Distribution::max() const
+{
+    return max_;
+}
+
+void
+CounterSet::add(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::uint64_t
+CounterSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+std::string
+CounterSet::format() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace cosmos

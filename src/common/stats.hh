@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight statistics primitives used across the simulator and the
+ * predictor evaluation machinery: named counters, ratio helpers, and a
+ * simple sample distribution.
+ */
+
+#ifndef COSMOS_COMMON_STATS_HH
+#define COSMOS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cosmos
+{
+
+/** A pair of (hits, total) with percentage helpers. */
+struct HitRatio
+{
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+
+    void
+    record(bool hit)
+    {
+        ++total;
+        if (hit)
+            ++hits;
+    }
+
+    /** Merge another ratio into this one. */
+    void
+    merge(const HitRatio &other)
+    {
+        hits += other.hits;
+        total += other.total;
+    }
+
+    /** Hit percentage in [0, 100]; 0 when empty. */
+    double percent() const
+    {
+        return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(total);
+    }
+
+    /** Hit fraction in [0, 1]; 0 when empty. */
+    double fraction() const
+    {
+        return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                      static_cast<double>(total);
+    }
+};
+
+/** Running scalar summary (count / mean / min / max). */
+class Distribution
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A named bag of integer counters, for simulator bookkeeping. */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name (created at zero on demand). */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Value of counter @p name; zero if never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Render as "name = value" lines. */
+    std::string format() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace cosmos
+
+#endif // COSMOS_COMMON_STATS_HH

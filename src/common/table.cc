@@ -1,0 +1,100 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace cosmos
+{
+
+namespace
+{
+const std::string separator_magic = "\x01sep";
+} // namespace
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({separator_magic});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header and all rows.
+    std::vector<std::size_t> width;
+    auto absorb = [&](const std::vector<std::string> &row) {
+        if (row.size() == 1 && row[0] == separator_magic)
+            return;
+        if (width.size() < row.size())
+            width.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    absorb(header_);
+    for (const auto &r : rows_)
+        absorb(r);
+
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    total = total < 8 ? 8 : total;
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+    os << std::string(total, '-') << "\n";
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << row[i];
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == separator_magic)
+            os << std::string(total, '-') << "\n";
+        else
+            emit(r);
+    }
+    os << std::string(total, '-') << "\n";
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace cosmos

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harness to print
+ * the paper's tables and figure data in aligned columns.
+ */
+
+#ifndef COSMOS_COMMON_TABLE_HH
+#define COSMOS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cosmos
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t("Table 5. Prediction rates");
+ *   t.setHeader({"Depth", "C", "D", "O"});
+ *   t.addRow({"1", "91", "77", "84"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** A full-width separator line between row groups. */
+    void addSeparator();
+
+    /** Render with padded columns, a title line, and separators. */
+    std::string render() const;
+
+    /** Format helper: fixed-point double with @p digits decimals. */
+    static std::string num(double v, int digits = 1);
+
+    /** Format helper: integer. */
+    static std::string num(std::uint64_t v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // A row with the single magic cell "\x01sep" renders as a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cosmos
+
+#endif // COSMOS_COMMON_TABLE_HH

@@ -1,0 +1,67 @@
+#include "cosmos/accuracy.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::pred
+{
+
+void
+AccuracyTracker::record(proto::Role role, std::int32_t iteration,
+                        bool hit, bool had_prediction)
+{
+    if (!had_prediction)
+        ++coldMisses_;
+    overall_.record(hit);
+    if (role == proto::Role::cache)
+        cache_.record(hit);
+    else
+        directory_.record(hit);
+    if (iteration < 0)
+        iteration = 0;
+    if (byIteration_.size() <= static_cast<std::size_t>(iteration))
+        byIteration_.resize(iteration + 1);
+    byIteration_[iteration].record(hit);
+}
+
+HitRatio
+AccuracyTracker::upToIteration(std::int32_t last_iteration) const
+{
+    HitRatio r;
+    for (std::size_t i = 0;
+         i < byIteration_.size() &&
+         i <= static_cast<std::size_t>(last_iteration);
+         ++i) {
+        r.merge(byIteration_[i]);
+    }
+    return r;
+}
+
+std::int32_t
+AccuracyTracker::iterationsToSteadyState(double tolerance_percent) const
+{
+    if (byIteration_.empty())
+        return 0;
+    // Accuracy of the tail starting at iteration i.
+    std::vector<HitRatio> tail(byIteration_.size() + 1);
+    for (std::size_t i = byIteration_.size(); i-- > 0;) {
+        tail[i] = tail[i + 1];
+        tail[i].merge(byIteration_[i]);
+    }
+    const double final_rate = tail[0].total == 0
+                                  ? 0.0
+                                  : tail.front().percent();
+    (void)final_rate;
+    // Find the earliest window whose per-iteration accuracy is already
+    // within tolerance of the whole-run tail accuracy.
+    const double target = tail.front().percent();
+    for (std::size_t i = 0; i < byIteration_.size(); ++i) {
+        const HitRatio &w = byIteration_[i];
+        if (w.total == 0)
+            continue;
+        if (w.percent() + tolerance_percent >= target)
+            return static_cast<std::int32_t>(i);
+    }
+    return static_cast<std::int32_t>(byIteration_.size());
+}
+
+} // namespace cosmos::pred

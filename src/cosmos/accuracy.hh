@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Prediction-accuracy aggregation: overall, per receiver role (the
+ * paper's C / D / O split of Table 5), and per application iteration
+ * (the "time to adapt" analysis and Table 8).
+ *
+ * A reference is an arrival for which a prediction lookup was
+ * possible; a hit is a full-tuple match. Arrivals with no stored
+ * prediction (cold pattern) count as misses, so the reported rate is
+ * "percentage of hits" over all lookups like the paper's tables.
+ */
+
+#ifndef COSMOS_COSMOS_ACCURACY_HH
+#define COSMOS_COSMOS_ACCURACY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "proto/messages.hh"
+
+namespace cosmos::pred
+{
+
+/** Accuracy aggregated overall, per role, and per iteration. */
+class AccuracyTracker
+{
+  public:
+    /**
+     * Record one counted reference.
+     * @param had_prediction false when the lookup found no stored
+     *        pattern (a cold miss, counted as a miss).
+     */
+    void record(proto::Role role, std::int32_t iteration, bool hit,
+                bool had_prediction = true);
+
+    const HitRatio &overall() const { return overall_; }
+    const HitRatio &cacheSide() const { return cache_; }
+    const HitRatio &directorySide() const { return directory_; }
+
+    /** References whose lookup found no stored pattern. */
+    std::uint64_t coldMisses() const { return coldMisses_; }
+
+    /** Per-iteration ratios, indexed by iteration number. */
+    const std::vector<HitRatio> &byIteration() const
+    {
+        return byIteration_;
+    }
+
+    /** Cumulative ratio over iterations [0, last_iteration]. */
+    HitRatio upToIteration(std::int32_t last_iteration) const;
+
+    /**
+     * First iteration from which the remaining cumulative accuracy
+     * stays within @p tolerance_percent of the final accuracy -- a
+     * simple "time to adapt" estimate (§6.2).
+     */
+    std::int32_t iterationsToSteadyState(
+        double tolerance_percent = 2.0) const;
+
+  private:
+    HitRatio overall_;
+    HitRatio cache_;
+    HitRatio directory_;
+    std::uint64_t coldMisses_ = 0;
+    std::vector<HitRatio> byIteration_;
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_ACCURACY_HH

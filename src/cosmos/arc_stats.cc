@@ -1,0 +1,70 @@
+#include "cosmos/arc_stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cosmos::pred
+{
+
+std::string
+ArcReport::format() const
+{
+    std::ostringstream os;
+    os << proto::toString(from) << " -> " << proto::toString(to) << "  "
+       << static_cast<int>(hitPercent + 0.5) << "/"
+       << static_cast<int>(refPercent + 0.5);
+    return os.str();
+}
+
+void
+ArcStats::record(proto::MsgType from, proto::MsgType to, bool hit)
+{
+    arcs_[{from, to}].record(hit);
+    ++totalRefs_;
+}
+
+std::vector<ArcReport>
+ArcStats::dominantArcs(double min_ref_percent) const
+{
+    std::vector<ArcReport> out;
+    for (const auto &[key, ratio] : arcs_) {
+        ArcReport r;
+        r.from = key.first;
+        r.to = key.second;
+        r.refs = ratio.total;
+        r.hits = ratio.hits;
+        r.hitPercent = ratio.percent();
+        r.refPercent = totalRefs_ == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(ratio.total) /
+                                 static_cast<double>(totalRefs_);
+        if (r.refPercent >= min_ref_percent)
+            out.push_back(r);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ArcReport &a, const ArcReport &b) {
+                  return a.refs > b.refs;
+              });
+    return out;
+}
+
+ArcReport
+ArcStats::arc(proto::MsgType from, proto::MsgType to) const
+{
+    auto it = arcs_.find({from, to});
+    ArcReport r;
+    r.from = from;
+    r.to = to;
+    if (it != arcs_.end()) {
+        r.refs = it->second.total;
+        r.hits = it->second.hits;
+        r.hitPercent = it->second.percent();
+        r.refPercent = totalRefs_ == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(r.refs) /
+                                 static_cast<double>(totalRefs_);
+    }
+    return r;
+}
+
+} // namespace cosmos::pred

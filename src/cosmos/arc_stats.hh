@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-transition ("arc") statistics behind the paper's Figures 6/7
+ * and Table 8.
+ *
+ * An arc is the ordered pair (previous incoming message type, current
+ * incoming message type) for the same cache block at one role. The
+ * figures label each arc X/Y where X = percentage of correct
+ * predictions on that arc and Y = the arc's share of all references.
+ */
+
+#ifndef COSMOS_COSMOS_ARC_STATS_HH
+#define COSMOS_COSMOS_ARC_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "proto/messages.hh"
+
+namespace cosmos::pred
+{
+
+/** One reported arc row. */
+struct ArcReport
+{
+    proto::MsgType from{};
+    proto::MsgType to{};
+    std::uint64_t refs = 0;
+    std::uint64_t hits = 0;
+    double hitPercent = 0.0; ///< the figures' X
+    double refPercent = 0.0; ///< the figures' Y
+
+    std::string format() const;
+};
+
+/** Accumulates arc statistics for one role of one application run. */
+class ArcStats
+{
+  public:
+    /** Record a counted reference on arc @p from -> @p to. */
+    void record(proto::MsgType from, proto::MsgType to, bool hit);
+
+    /** Total counted references. */
+    std::uint64_t totalRefs() const { return totalRefs_; }
+
+    /**
+     * All arcs sorted by descending reference share, ready to print.
+     * Arcs below @p min_ref_percent of total references are dropped
+     * (the figures show only dominant transitions).
+     */
+    std::vector<ArcReport> dominantArcs(
+        double min_ref_percent = 0.0) const;
+
+    /** The single arc from @p from to @p to (zeroes if never seen). */
+    ArcReport arc(proto::MsgType from, proto::MsgType to) const;
+
+  private:
+    std::map<std::pair<proto::MsgType, proto::MsgType>, HitRatio> arcs_;
+    std::uint64_t totalRefs_ = 0;
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_ARC_STATS_HH

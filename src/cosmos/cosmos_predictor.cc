@@ -1,0 +1,97 @@
+#include "cosmos/cosmos_predictor.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::pred
+{
+
+CosmosPredictor::CosmosPredictor(const CosmosConfig &cfg) : cfg_(cfg)
+{
+    cosmos_assert(cfg.depth >= 1 && cfg.depth <= max_mhr_depth,
+                  "MHR depth must be in [1, ", max_mhr_depth, "], got ",
+                  cfg.depth);
+}
+
+std::optional<MsgTuple>
+CosmosPredictor::predict(Addr block) const
+{
+    auto bit = blocks_.find(block);
+    if (bit == blocks_.end())
+        return std::nullopt;
+    const BlockState &st = bit->second;
+    if (st.mhr.size() < cfg_.depth)
+        return std::nullopt;
+    auto pit = st.pht.find(encodePattern(st.mhr));
+    if (pit == st.pht.end())
+        return std::nullopt;
+    return pit->second.prediction;
+}
+
+ObserveResult
+CosmosPredictor::observe(Addr block, MsgTuple actual)
+{
+    BlockState &st = blocks_[block];
+    ObserveResult res;
+
+    if (st.mhr.size() == cfg_.depth) {
+        // A lookup is possible: this arrival counts as a reference.
+        res.counted = true;
+        const std::uint64_t key = encodePattern(st.mhr);
+        auto pit = st.pht.find(key);
+        if (pit != st.pht.end()) {
+            PhtEntry &e = pit->second;
+            res.hadPrediction = true;
+            res.predicted = e.prediction;
+            res.hit = (e.prediction == actual);
+            if (res.hit) {
+                e.counter = 0;
+            } else if (e.counter >= cfg_.filterMax) {
+                // Filter exhausted: adopt the new tuple (§3.6).
+                e.prediction = actual;
+                e.counter = 0;
+            } else {
+                ++e.counter;
+            }
+        } else {
+            // First time this pattern is seen: learn it, evicting
+            // the oldest pattern if the hardware budget is full.
+            if (cfg_.maxPhtPerBlock > 0) {
+                while (st.pht.size() >= cfg_.maxPhtPerBlock &&
+                       !st.phtOrder.empty()) {
+                    const std::uint64_t victim = st.phtOrder.front();
+                    st.phtOrder.pop_front();
+                    st.pht.erase(victim); // no-op on stale keys
+                }
+                st.phtOrder.push_back(key);
+            }
+            st.pht.emplace(key, PhtEntry{actual, 0});
+        }
+    }
+
+    // Left-shift the actual tuple into the MHR (§3.4).
+    st.mhr.push_back(actual);
+    if (st.mhr.size() > cfg_.depth)
+        st.mhr.erase(st.mhr.begin());
+
+    return res;
+}
+
+CosmosFootprint
+CosmosPredictor::footprint() const
+{
+    CosmosFootprint f;
+    f.mhrEntries = blocks_.size();
+    for (const auto &[block, st] : blocks_)
+        f.phtEntries += st.pht.size();
+    return f;
+}
+
+std::vector<MsgTuple>
+CosmosPredictor::history(Addr block) const
+{
+    auto it = blocks_.find(block);
+    return it == blocks_.end() ? std::vector<MsgTuple>{}
+                               : it->second.mhr;
+}
+
+} // namespace cosmos::pred

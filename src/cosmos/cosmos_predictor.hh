@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Cosmos two-level adaptive coherence message predictor (§3).
+ *
+ * Level 1: the Message History Table maps a cache block address to a
+ * Message History Register holding the last `depth` <sender, type>
+ * tuples received for that block.
+ *
+ * Level 2: a per-block Pattern History Table maps the MHR contents to
+ * the tuple that followed that pattern last time, optionally guarded
+ * by a saturating-counter noise filter (§3.6): the stored prediction
+ * is replaced only after `filterMax + 1` consecutive mispredictions.
+ * filterMax == 0 reproduces the unfiltered predictor of Table 5.
+ *
+ * Following the Table 7 accounting, a PHT materializes for a block
+ * only once the block has received more messages than the MHR depth.
+ */
+
+#ifndef COSMOS_COSMOS_COSMOS_PREDICTOR_HH
+#define COSMOS_COSMOS_COSMOS_PREDICTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cosmos/predictor.hh"
+#include "cosmos/tuple.hh"
+
+namespace cosmos::pred
+{
+
+/** Tunables of one Cosmos predictor instance. */
+struct CosmosConfig
+{
+    /** MHR depth: number of tuples of history per block (1..4). */
+    unsigned depth = 1;
+    /** Filter saturating-counter maximum (0 = no filter; Table 6). */
+    unsigned filterMax = 0;
+    /**
+     * Hardware budget: maximum PHT entries kept per block (0 =
+     * unbounded, the paper's model). With a bound, the oldest
+     * pattern is evicted FIFO when a new one arrives -- the §3.7
+     * "preallocate a few entries per block" implementation sketch.
+     */
+    unsigned maxPhtPerBlock = 0;
+};
+
+/** Memory-accounting snapshot of one predictor (Table 7 inputs). */
+struct CosmosFootprint
+{
+    std::uint64_t mhrEntries = 0; ///< blocks referenced at least once
+    std::uint64_t phtEntries = 0; ///< patterns stored across blocks
+};
+
+/** One Cosmos predictor instance (one per cache / directory module). */
+class CosmosPredictor : public MessagePredictor
+{
+  public:
+    explicit CosmosPredictor(const CosmosConfig &cfg);
+
+    std::optional<MsgTuple> predict(Addr block) const override;
+    ObserveResult observe(Addr block, MsgTuple actual) override;
+
+    const CosmosConfig &config() const { return cfg_; }
+
+    /** Memory accounting across all blocks this instance has seen. */
+    CosmosFootprint footprint() const;
+
+    /** Last `<= depth` tuples received for @p block (oldest first). */
+    std::vector<MsgTuple> history(Addr block) const;
+
+  private:
+    struct PhtEntry
+    {
+        MsgTuple prediction{};
+        std::uint8_t counter = 0; ///< consecutive mispredictions
+    };
+
+    struct BlockState
+    {
+        /** MHR: oldest tuple at front, newest at back. */
+        std::vector<MsgTuple> mhr;
+        std::unordered_map<std::uint64_t, PhtEntry> pht;
+        /** Insertion order of PHT keys (only used with a capacity
+         *  bound; may contain stale keys of evicted entries). */
+        std::deque<std::uint64_t> phtOrder;
+    };
+
+    CosmosConfig cfg_;
+    std::unordered_map<Addr, BlockState> blocks_;
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_COSMOS_PREDICTOR_HH

@@ -1,0 +1,170 @@
+#include "cosmos/directed.hh"
+
+namespace cosmos::pred
+{
+
+using proto::MsgType;
+
+// --- MigratoryPredictor ---------------------------------------------------
+
+std::optional<MsgTuple>
+MigratoryPredictor::predictFor(const BlockState &st) const
+{
+    if (!st.migratory || !st.seenAny)
+        return std::nullopt;
+    switch (st.last.type) {
+      case MsgType::get_ro_request:
+        // The current owner will be asked to give up its copy.
+        if (st.lastOwner == invalid_node)
+            return std::nullopt;
+        return MsgTuple{st.lastOwner, MsgType::inval_rw_response};
+      case MsgType::inval_rw_response:
+        // The reader that triggered the hand-off will now write.
+        if (st.currentReader == invalid_node)
+            return std::nullopt;
+        return MsgTuple{st.currentReader, MsgType::upgrade_request};
+      case MsgType::upgrade_request:
+        // Guess the next reader: two-party ping-pong.
+        if (st.prevOwner == invalid_node)
+            return std::nullopt;
+        return MsgTuple{st.prevOwner, MsgType::get_ro_request};
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<MsgTuple>
+MigratoryPredictor::predict(Addr block) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return std::nullopt;
+    return predictFor(it->second);
+}
+
+ObserveResult
+MigratoryPredictor::observe(Addr block, MsgTuple actual)
+{
+    BlockState &st = blocks_[block];
+    ObserveResult res;
+    if (st.seenAny) {
+        res.counted = true;
+        if (auto p = predictFor(st)) {
+            res.hadPrediction = true;
+            res.predicted = *p;
+            res.hit = (*p == actual);
+        }
+    }
+
+    // Detection and owner tracking.
+    switch (actual.type) {
+      case MsgType::get_ro_request:
+        st.currentReader = actual.sender;
+        break;
+      case MsgType::upgrade_request:
+        // Reader writes what it just read: the migratory hand-off.
+        if (st.seenAny && st.currentReader == actual.sender &&
+            (st.last.type == MsgType::get_ro_request ||
+             st.last.type == MsgType::inval_rw_response)) {
+            st.migratory = true;
+        }
+        st.prevOwner = st.lastOwner;
+        st.lastOwner = actual.sender;
+        break;
+      case MsgType::get_rw_request:
+        st.prevOwner = st.lastOwner;
+        st.lastOwner = actual.sender;
+        break;
+      default:
+        break;
+    }
+    st.last = actual;
+    st.seenAny = true;
+    return res;
+}
+
+std::uint64_t
+MigratoryPredictor::migratoryBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[block, st] : blocks_)
+        if (st.migratory)
+            ++n;
+    return n;
+}
+
+// --- DsiPredictor ---------------------------------------------------------
+
+std::optional<MsgTuple>
+DsiPredictor::predictFor(const BlockState &st) const
+{
+    if (!st.marked || !st.seenAny)
+        return std::nullopt;
+    switch (st.last.type) {
+      case MsgType::get_rw_response:
+        return MsgTuple{st.home, MsgType::inval_rw_request};
+      case MsgType::get_ro_response:
+        return MsgTuple{st.home, MsgType::inval_ro_request};
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<MsgTuple>
+DsiPredictor::predict(Addr block) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return std::nullopt;
+    return predictFor(it->second);
+}
+
+ObserveResult
+DsiPredictor::observe(Addr block, MsgTuple actual)
+{
+    BlockState &st = blocks_[block];
+    ObserveResult res;
+    if (st.seenAny) {
+        res.counted = true;
+        if (auto p = predictFor(st)) {
+            res.hadPrediction = true;
+            res.predicted = *p;
+            res.hit = (*p == actual);
+        }
+    }
+
+    // Every cache-side message in Stache comes from the home node.
+    st.home = actual.sender;
+
+    const bool response_then_inval =
+        st.seenAny &&
+        ((st.last.type == MsgType::get_rw_response &&
+          actual.type == MsgType::inval_rw_request) ||
+         (st.last.type == MsgType::get_ro_response &&
+          actual.type == MsgType::inval_ro_request));
+    if (response_then_inval) {
+        if (++st.consecutivePairs >= 2)
+            st.marked = true;
+    } else if (actual.type == MsgType::inval_rw_request ||
+               actual.type == MsgType::inval_ro_request) {
+        // Invalidation without a preceding fetch: reset confidence.
+        st.consecutivePairs = 0;
+        st.marked = false;
+    }
+
+    st.last = actual;
+    st.seenAny = true;
+    return res;
+}
+
+std::uint64_t
+DsiPredictor::selfInvalBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[block, st] : blocks_)
+        if (st.marked)
+            ++n;
+    return n;
+}
+
+} // namespace cosmos::pred

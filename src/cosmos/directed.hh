@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Directed predictor baselines (paper §7, Figure 8).
+ *
+ * The paper contrasts Cosmos with optimizations directed at specific
+ * sharing patterns known a priori: migratory protocols (Cox/Fowler,
+ * Stenström et al.) and dynamic self-invalidation (Lebeck & Wood).
+ * Each can be viewed as a hard-wired predictor for one message
+ * signature; these classes implement that view so benches can compare
+ * their coverage and accuracy against Cosmos on the same traces.
+ */
+
+#ifndef COSMOS_COSMOS_DIRECTED_HH
+#define COSMOS_COSMOS_DIRECTED_HH
+
+#include <unordered_map>
+
+#include "cosmos/predictor.hh"
+
+namespace cosmos::pred
+{
+
+/**
+ * Migratory-sharing detector at a *directory*.
+ *
+ * Detection: a reader that upgrades the same block it just fetched
+ * (get_ro_request(P) ... upgrade_request(P), Figure 8b) marks the
+ * block migratory. Prediction then follows the canonical
+ * half-migratory cycle
+ *   get_ro_request(Q) -> inval_rw_response(owner)
+ *   inval_rw_response -> upgrade_request(Q)
+ *   upgrade_request(Q) -> get_ro_request(next reader)
+ * where the next reader is guessed to be the *previous* owner
+ * (two-party ping-pong assumption). Unlike Cosmos, the detector has
+ * no per-pattern history, so it cannot learn multi-party rotation
+ * orders or composite signatures -- the paper's §7 argument.
+ */
+class MigratoryPredictor : public MessagePredictor
+{
+  public:
+    std::optional<MsgTuple> predict(Addr block) const override;
+    ObserveResult observe(Addr block, MsgTuple actual) override;
+
+    /** Number of blocks currently classified migratory. */
+    std::uint64_t migratoryBlocks() const;
+
+  private:
+    struct BlockState
+    {
+        bool seenAny = false;
+        bool migratory = false;
+        MsgTuple last{};
+        NodeId currentReader = invalid_node;
+        NodeId lastOwner = invalid_node;
+        NodeId prevOwner = invalid_node;
+    };
+
+    std::optional<MsgTuple> predictFor(const BlockState &st) const;
+
+    std::unordered_map<Addr, BlockState> blocks_;
+};
+
+/**
+ * Dynamic self-invalidation detector at a *cache*.
+ *
+ * Detection: a data response followed by an invalidation of the same
+ * block, twice in a row (Figure 8a), marks the block self-invalidate.
+ * Prediction: after a data response for a marked block, predict the
+ * matching invalidation from the home directory. The detector makes
+ * no prediction on any other message -- such arrivals count as missed
+ * references, reflecting the narrow coverage of a directed predictor.
+ */
+class DsiPredictor : public MessagePredictor
+{
+  public:
+    std::optional<MsgTuple> predict(Addr block) const override;
+    ObserveResult observe(Addr block, MsgTuple actual) override;
+
+    /** Number of blocks currently classified self-invalidating. */
+    std::uint64_t selfInvalBlocks() const;
+
+  private:
+    struct BlockState
+    {
+        bool seenAny = false;
+        unsigned consecutivePairs = 0;
+        bool marked = false;
+        MsgTuple last{};
+        NodeId home = invalid_node;
+    };
+
+    std::optional<MsgTuple> predictFor(const BlockState &st) const;
+
+    std::unordered_map<Addr, BlockState> blocks_;
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_DIRECTED_HH

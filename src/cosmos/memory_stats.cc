@@ -1,0 +1,29 @@
+#include "cosmos/memory_stats.hh"
+
+namespace cosmos::pred
+{
+
+void
+MemoryStats::merge(const CosmosFootprint &f)
+{
+    mhrEntries += f.mhrEntries;
+    phtEntries += f.phtEntries;
+}
+
+double
+MemoryStats::ratio() const
+{
+    return mhrEntries == 0 ? 0.0
+                           : static_cast<double>(phtEntries) /
+                                 static_cast<double>(mhrEntries);
+}
+
+double
+MemoryStats::overheadPercent() const
+{
+    const double r = ratio();
+    const double d = static_cast<double>(depth);
+    return tuple_bytes * (d + r * (d + 1.0)) * 100.0 / 128.0;
+}
+
+} // namespace cosmos::pred

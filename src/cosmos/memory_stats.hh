@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cosmos memory-overhead accounting (paper Table 7).
+ *
+ * Ratio = total PHT entries / total MHR entries, where an MHR entry
+ * exists for every block referenced at least once and a PHT only
+ * materializes once a block has received more messages than the MHR
+ * depth.
+ *
+ * Ovhd = tuple_size * (depth + Ratio * (depth + 1)) * 100 / 128 %,
+ * the average overhead per 128-byte block with two-byte tuples
+ * (12-bit processor + 4-bit message type), exactly the Table 7
+ * caption's formula.
+ */
+
+#ifndef COSMOS_COSMOS_MEMORY_STATS_HH
+#define COSMOS_COSMOS_MEMORY_STATS_HH
+
+#include <cstdint>
+
+#include "cosmos/cosmos_predictor.hh"
+
+namespace cosmos::pred
+{
+
+/** Aggregated memory accounting for a set of Cosmos predictors. */
+struct MemoryStats
+{
+    unsigned depth = 1;
+    std::uint64_t mhrEntries = 0;
+    std::uint64_t phtEntries = 0;
+
+    /** Merge one predictor's footprint. */
+    void merge(const CosmosFootprint &f);
+
+    /** PHT-to-MHR ratio (0 when no MHR entries). */
+    double ratio() const;
+
+    /** Percentage overhead per 128-byte block (Table 7 formula). */
+    double overheadPercent() const;
+
+    /** Mean PHT entries per referenced block -- same as ratio(). */
+    double phtPerBlock() const { return ratio(); }
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_MEMORY_STATS_HH

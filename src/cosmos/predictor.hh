@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Common interface of coherence message predictors.
+ *
+ * Cosmos and the directed baselines (§7) all answer the same question:
+ * given a cache block, what <sender, type> tuple arrives next at this
+ * module? observe() is called on every actual arrival and returns how
+ * the prediction fared, which the accuracy machinery aggregates.
+ */
+
+#ifndef COSMOS_COSMOS_PREDICTOR_HH_IFACE
+#define COSMOS_COSMOS_PREDICTOR_HH_IFACE
+
+#include <optional>
+
+#include "common/types.hh"
+#include "cosmos/tuple.hh"
+
+namespace cosmos::pred
+{
+
+/** Outcome of one observe() call. */
+struct ObserveResult
+{
+    /** A prediction existed before this arrival. */
+    bool hadPrediction = false;
+    /** The prediction matched the actual tuple exactly. */
+    bool hit = false;
+    /** The prediction that was in effect (valid iff hadPrediction). */
+    MsgTuple predicted{};
+    /**
+     * This arrival was counted as a reference (a prediction lookup
+     * was possible; for Cosmos: the MHR was full).
+     */
+    bool counted = false;
+};
+
+/** Abstract per-module message predictor. */
+class MessagePredictor
+{
+  public:
+    virtual ~MessagePredictor() = default;
+
+    /** Current prediction for @p block, if any. */
+    virtual std::optional<MsgTuple> predict(Addr block) const = 0;
+
+    /** Record the actual next message and adapt. */
+    virtual ObserveResult observe(Addr block, MsgTuple actual) = 0;
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_PREDICTOR_HH_IFACE

@@ -1,0 +1,105 @@
+#include "cosmos/predictor_bank.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::pred
+{
+
+PredictorBank::PredictorBank(NodeId num_nodes, const CosmosConfig &cfg)
+    : numNodes_(num_nodes), cosmosDepth_(cfg.depth)
+{
+    predictors_.reserve(2u * num_nodes);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        predictors_.push_back(std::make_unique<CosmosPredictor>(cfg));
+        predictors_.push_back(std::make_unique<CosmosPredictor>(cfg));
+    }
+}
+
+PredictorBank::PredictorBank(NodeId num_nodes, PredictorFactory factory)
+    : numNodes_(num_nodes)
+{
+    predictors_.reserve(2u * num_nodes);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        predictors_.push_back(factory(n, proto::Role::cache));
+        predictors_.push_back(factory(n, proto::Role::directory));
+    }
+}
+
+std::size_t
+PredictorBank::index(NodeId n, proto::Role role) const
+{
+    cosmos_assert(n < numNodes_, "bad node ", n);
+    return 2u * n + (role == proto::Role::directory ? 1 : 0);
+}
+
+MessagePredictor &
+PredictorBank::predictor(NodeId n, proto::Role role)
+{
+    return *predictors_[index(n, role)];
+}
+
+const MessagePredictor &
+PredictorBank::predictor(NodeId n, proto::Role role) const
+{
+    return *predictors_[index(n, role)];
+}
+
+void
+PredictorBank::observe(const trace::TraceRecord &r)
+{
+    MessagePredictor &p = predictor(r.receiver, r.role);
+    const MsgTuple actual{r.sender, r.type};
+    const ObserveResult res = p.observe(r.block, actual);
+
+    const std::uint64_t last_key =
+        (static_cast<std::uint64_t>(r.receiver) << 48) |
+        (static_cast<std::uint64_t>(
+             r.role == proto::Role::directory ? 1 : 0)
+         << 40) |
+        r.block;
+
+    if (res.counted) {
+        accuracy_.record(r.role, r.iteration, res.hit,
+                         res.hadPrediction);
+        auto it = lastType_.find(last_key);
+        if (it != lastType_.end()) {
+            ArcStats &arcs = r.role == proto::Role::cache ? cacheArcs_
+                                                          : dirArcs_;
+            arcs.record(it->second, r.type, res.hit);
+        }
+    }
+    lastType_[last_key] = r.type;
+}
+
+void
+PredictorBank::replay(const trace::Trace &t, std::int32_t max_iteration)
+{
+    for (const auto &r : t.records) {
+        if (r.iteration > max_iteration)
+            continue;
+        observe(r);
+    }
+}
+
+const ArcStats &
+PredictorBank::arcs(proto::Role role) const
+{
+    return role == proto::Role::cache ? cacheArcs_ : dirArcs_;
+}
+
+MemoryStats
+PredictorBank::memoryStats() const
+{
+    cosmos_assert(cosmosDepth_ != 0,
+                  "memoryStats() requires a Cosmos bank");
+    MemoryStats m;
+    m.depth = cosmosDepth_;
+    for (const auto &p : predictors_) {
+        auto *c = dynamic_cast<const CosmosPredictor *>(p.get());
+        cosmos_assert(c, "non-Cosmos predictor in Cosmos bank");
+        m.merge(c->footprint());
+    }
+    return m;
+}
+
+} // namespace cosmos::pred

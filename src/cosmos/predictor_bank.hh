@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A machine-wide bank of message predictors.
+ *
+ * The paper allocates one Cosmos predictor beside every cache and
+ * every directory module (§3.2). PredictorBank instantiates one
+ * predictor per (node, role), routes trace records to the right
+ * instance, and aggregates accuracy (Table 5), arc statistics
+ * (Figures 6/7), and memory accounting (Table 7).
+ *
+ * Because the paper evaluates prediction in isolation, a single
+ * simulated trace can be replayed through banks of any configuration
+ * -- depth and filter sweeps reuse one simulation.
+ */
+
+#ifndef COSMOS_COSMOS_PREDICTOR_BANK_HH
+#define COSMOS_COSMOS_PREDICTOR_BANK_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cosmos/accuracy.hh"
+#include "cosmos/arc_stats.hh"
+#include "cosmos/cosmos_predictor.hh"
+#include "cosmos/memory_stats.hh"
+#include "cosmos/predictor.hh"
+#include "trace/trace.hh"
+
+namespace cosmos::pred
+{
+
+/** Creates one predictor instance for a given (node, role). */
+using PredictorFactory =
+    std::function<std::unique_ptr<MessagePredictor>(NodeId,
+                                                    proto::Role)>;
+
+/** Bank of per-module predictors with aggregated statistics. */
+class PredictorBank
+{
+  public:
+    /** Bank of Cosmos predictors with the given configuration. */
+    PredictorBank(NodeId num_nodes, const CosmosConfig &cfg);
+
+    /** Bank of arbitrary predictors (directed baselines, etc.). */
+    PredictorBank(NodeId num_nodes, PredictorFactory factory);
+
+    /** Feed one trace record to its (node, role) predictor. */
+    void observe(const trace::TraceRecord &r);
+
+    /**
+     * Replay a whole trace. Records with iteration > @p max_iteration
+     * are skipped (Table 8 replays prefixes of one trace).
+     */
+    void replay(const trace::Trace &t,
+                std::int32_t max_iteration = INT32_MAX);
+
+    const AccuracyTracker &accuracy() const { return accuracy_; }
+    const ArcStats &arcs(proto::Role role) const;
+
+    /**
+     * Aggregate Table 7 memory accounting. Only meaningful for banks
+     * of Cosmos predictors; panics otherwise.
+     */
+    MemoryStats memoryStats() const;
+
+    /** The predictor instance beside node @p n in role @p role. */
+    MessagePredictor &predictor(NodeId n, proto::Role role);
+    const MessagePredictor &predictor(NodeId n, proto::Role role) const;
+
+    NodeId numNodes() const { return numNodes_; }
+
+  private:
+    std::size_t index(NodeId n, proto::Role role) const;
+
+    NodeId numNodes_;
+    unsigned cosmosDepth_ = 0; ///< nonzero iff a Cosmos bank
+    std::vector<std::unique_ptr<MessagePredictor>> predictors_;
+    AccuracyTracker accuracy_;
+    ArcStats cacheArcs_;
+    ArcStats dirArcs_;
+    /// last incoming message type per (node, role, block), feeding
+    /// the arc statistics.
+    std::unordered_map<std::uint64_t, proto::MsgType> lastType_;
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_PREDICTOR_BANK_HH

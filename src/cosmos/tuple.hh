@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The <sender, message-type> tuple Cosmos predicts, and the compact
+ * encoding used to index Pattern History Tables.
+ *
+ * The paper sizes a tuple at two bytes: 12 bits of processor number
+ * and 4 bits of coherence message type (Table 7 caption). We keep the
+ * same split, which also bounds an MHR pattern of depth <= 4 to a
+ * single 64-bit PHT key.
+ */
+
+#ifndef COSMOS_COSMOS_TUPLE_HH
+#define COSMOS_COSMOS_TUPLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "proto/messages.hh"
+
+namespace cosmos::pred
+{
+
+/** Maximum MHR depth representable in one 64-bit pattern key. */
+constexpr unsigned max_mhr_depth = 4;
+
+/** A <sender, message-type> tuple (paper §3.2). */
+struct MsgTuple
+{
+    NodeId sender = invalid_node;
+    proto::MsgType type{};
+
+    bool operator==(const MsgTuple &) const = default;
+
+    /** Two-byte encoding: sender in bits [15:4], type in [3:0]. */
+    std::uint16_t
+    encode() const
+    {
+        cosmos_assert(sender < (1 << 12), "sender exceeds 12 bits");
+        return static_cast<std::uint16_t>(
+            (sender << 4) | static_cast<unsigned>(type));
+    }
+
+    static MsgTuple
+    decode(std::uint16_t bits)
+    {
+        MsgTuple t;
+        t.sender = static_cast<NodeId>(bits >> 4);
+        t.type = static_cast<proto::MsgType>(bits & 0xf);
+        return t;
+    }
+
+    std::string
+    format() const
+    {
+        return std::string("<P") + std::to_string(sender) + "," +
+               proto::toString(type) + ">";
+    }
+};
+
+/** Bytes per stored tuple (Table 7 uses two). */
+constexpr unsigned tuple_bytes = 2;
+
+/**
+ * Encode an MHR pattern (oldest first) as a PHT key.
+ *
+ * Patterns of the same predictor always have the same length, so the
+ * plain concatenation of 16-bit tuples is collision-free.
+ */
+inline std::uint64_t
+encodePattern(const std::vector<MsgTuple> &pattern)
+{
+    cosmos_assert(pattern.size() <= max_mhr_depth,
+                  "pattern longer than max MHR depth");
+    std::uint64_t key = 0;
+    for (const MsgTuple &t : pattern)
+        key = (key << 16) | t.encode();
+    return key;
+}
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_TUPLE_HH

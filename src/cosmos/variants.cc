@@ -1,0 +1,165 @@
+#include "cosmos/variants.hh"
+
+#include <bit>
+
+namespace cosmos::pred
+{
+
+std::optional<MsgTuple>
+LastValuePredictor::predict(Addr block) const
+{
+    auto it = last_.find(block);
+    if (it == last_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+ObserveResult
+LastValuePredictor::observe(Addr block, MsgTuple actual)
+{
+    ObserveResult res;
+    auto it = last_.find(block);
+    if (it != last_.end()) {
+        res.counted = true;
+        res.hadPrediction = true;
+        res.predicted = it->second;
+        res.hit = (it->second == actual);
+        it->second = actual;
+    } else {
+        last_.emplace(block, actual);
+    }
+    return res;
+}
+
+MacroblockPredictor::MacroblockPredictor(const CosmosConfig &cfg,
+                                         unsigned group_blocks,
+                                         unsigned block_bytes)
+    : inner_(cfg), groupBlocks_(group_blocks)
+{
+    cosmos_assert(std::has_single_bit(group_blocks) &&
+                      std::has_single_bit(block_bytes),
+                  "macroblock group and block size must be powers of "
+                  "two");
+    mask_ = ~(static_cast<Addr>(group_blocks) * block_bytes - 1);
+}
+
+Addr
+MacroblockPredictor::macroBase(Addr block) const
+{
+    return block & mask_;
+}
+
+std::optional<MsgTuple>
+MacroblockPredictor::predict(Addr block) const
+{
+    return inner_.predict(macroBase(block));
+}
+
+ObserveResult
+MacroblockPredictor::observe(Addr block, MsgTuple actual)
+{
+    return inner_.observe(macroBase(block), actual);
+}
+
+std::optional<MsgTuple>
+TypeOnlyPredictor::predict(Addr block) const
+{
+    return inner_.predict(block);
+}
+
+ObserveResult
+TypeOnlyPredictor::observe(Addr block, MsgTuple actual)
+{
+    ObserveResult res = inner_.observe(block, masked(actual));
+    // A hit is a *type* hit; sender is not predicted at all.
+    if (res.hadPrediction)
+        res.hit = res.predicted.type == actual.type;
+    return res;
+}
+
+SenderSetPredictor::SenderSetPredictor(const CosmosConfig &cfg)
+    : cfg_(cfg)
+{
+    cosmos_assert(cfg.depth >= 1 && cfg.depth <= max_mhr_depth,
+                  "MHR depth out of range");
+}
+
+std::optional<MsgTuple>
+SenderSetPredictor::predict(Addr block) const
+{
+    auto bit = blocks_.find(block);
+    if (bit == blocks_.end() || bit->second.mhr.size() < cfg_.depth)
+        return std::nullopt;
+    auto pit = bit->second.pht.find(encodePattern(bit->second.mhr));
+    if (pit == bit->second.pht.end())
+        return std::nullopt;
+    return MsgTuple{pit->second.lastSender, pit->second.type};
+}
+
+std::uint64_t
+SenderSetPredictor::setFor(Addr block) const
+{
+    auto bit = blocks_.find(block);
+    if (bit == blocks_.end() || bit->second.mhr.size() < cfg_.depth)
+        return 0;
+    auto pit = bit->second.pht.find(encodePattern(bit->second.mhr));
+    return pit == bit->second.pht.end() ? 0 : pit->second.senders;
+}
+
+ObserveResult
+SenderSetPredictor::observe(Addr block, MsgTuple actual)
+{
+    BlockState &st = blocks_[block];
+    ObserveResult res;
+    if (st.mhr.size() == cfg_.depth) {
+        res.counted = true;
+        const std::uint64_t key = encodePattern(st.mhr);
+        auto pit = st.pht.find(key);
+        if (pit != st.pht.end()) {
+            PhtEntry &e = pit->second;
+            res.hadPrediction = true;
+            res.predicted = MsgTuple{e.lastSender, e.type};
+            const bool sender_in_set =
+                actual.sender < 64 &&
+                (e.senders & (std::uint64_t{1} << actual.sender));
+            res.hit = e.type == actual.type && sender_in_set;
+            setSizeSum_ += static_cast<std::uint64_t>(
+                std::popcount(e.senders));
+            ++setSamples_;
+            if (e.type == actual.type) {
+                // Grow the set; keep the set only while the type is
+                // stable.
+                if (actual.sender < 64)
+                    e.senders |= std::uint64_t{1} << actual.sender;
+            } else {
+                e.type = actual.type;
+                e.senders = actual.sender < 64
+                                ? std::uint64_t{1} << actual.sender
+                                : 0;
+            }
+            e.lastSender = actual.sender;
+        } else {
+            PhtEntry e;
+            e.type = actual.type;
+            e.senders = actual.sender < 64
+                            ? std::uint64_t{1} << actual.sender
+                            : 0;
+            e.lastSender = actual.sender;
+            st.pht.emplace(key, e);
+        }
+    }
+    st.mhr.push_back(actual);
+    if (st.mhr.size() > cfg_.depth)
+        st.mhr.erase(st.mhr.begin());
+    return res;
+}
+
+double
+SenderSetPredictor::meanSetSize() const
+{
+    return setSamples_ == 0 ? 0.0
+                            : static_cast<double>(setSizeSum_) /
+                                  static_cast<double>(setSamples_);
+}
+
+} // namespace cosmos::pred

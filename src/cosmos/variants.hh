@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Predictor design variants for the §7 cost/benefit analysis.
+ *
+ * LastValuePredictor is the cheapest conceivable message predictor
+ * (one tuple of state per block, "the next message is the last
+ * message"); comparing it against Cosmos quantifies what the second
+ * level of the two-level structure buys.
+ *
+ * MacroblockPredictor implements the paper's suggested memory
+ * reduction: "grouping predictions for multiple cache blocks
+ * together (similar to Johnson and Hwu's macroblocks)" (§7). One
+ * Cosmos instance serves a power-of-two group of consecutive blocks,
+ * dividing table storage by the group size at the cost of mixing the
+ * member blocks' histories.
+ *
+ * TypeOnlyPredictor strips senders from both history and prediction,
+ * quantifying footnote 2's "more aggressive predictor [that] could
+ * ignore the senders" -- higher raw hit rates, but its predictions
+ * cannot drive sender-directed actions.
+ *
+ * SenderSetPredictor implements footnote 3's alternative: predict
+ * the message type plus a *set* of candidate senders, so an action
+ * can target the whole set when the exact sender is ambiguous.
+ */
+
+#ifndef COSMOS_COSMOS_VARIANTS_HH
+#define COSMOS_COSMOS_VARIANTS_HH
+
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "cosmos/cosmos_predictor.hh"
+#include "cosmos/predictor.hh"
+
+namespace cosmos::pred
+{
+
+/** Predicts that the next message equals the previous one. */
+class LastValuePredictor : public MessagePredictor
+{
+  public:
+    std::optional<MsgTuple> predict(Addr block) const override;
+    ObserveResult observe(Addr block, MsgTuple actual) override;
+
+  private:
+    std::unordered_map<Addr, MsgTuple> last_;
+};
+
+/** Cosmos over macroblocks of 2^k consecutive cache blocks. */
+class MacroblockPredictor : public MessagePredictor
+{
+  public:
+    /**
+     * @param cfg           inner Cosmos configuration
+     * @param group_blocks  blocks per macroblock (power of two)
+     * @param block_bytes   cache block size
+     */
+    MacroblockPredictor(const CosmosConfig &cfg, unsigned group_blocks,
+                        unsigned block_bytes);
+
+    std::optional<MsgTuple> predict(Addr block) const override;
+    ObserveResult observe(Addr block, MsgTuple actual) override;
+
+    /** Footprint of the shared inner predictor. */
+    CosmosFootprint footprint() const { return inner_.footprint(); }
+
+    unsigned groupBlocks() const { return groupBlocks_; }
+
+  private:
+    Addr macroBase(Addr block) const;
+
+    CosmosPredictor inner_;
+    unsigned groupBlocks_;
+    Addr mask_;
+};
+
+/**
+ * Cosmos over <type>-only history: senders are masked out of both
+ * the MHR tuples and the predictions. A hit only requires the
+ * predicted message *type* to match.
+ */
+class TypeOnlyPredictor : public MessagePredictor
+{
+  public:
+    explicit TypeOnlyPredictor(const CosmosConfig &cfg) : inner_(cfg)
+    {
+    }
+
+    std::optional<MsgTuple> predict(Addr block) const override;
+    ObserveResult observe(Addr block, MsgTuple actual) override;
+
+  private:
+    static MsgTuple
+    masked(MsgTuple t)
+    {
+        return MsgTuple{0, t.type};
+    }
+
+    CosmosPredictor inner_;
+};
+
+/**
+ * Two-level predictor whose PHT entries accumulate a *set* of
+ * senders per (pattern, predicted type): a prediction hits when the
+ * actual type matches and the actual sender is in the set (footnote
+ * 3's "group the processor numbers into a set and perform actions on
+ * the entire set").
+ */
+class SenderSetPredictor : public MessagePredictor
+{
+  public:
+    explicit SenderSetPredictor(const CosmosConfig &cfg);
+
+    /** Returns a representative tuple: the most recent sender of the
+     *  predicted set. Use setFor() for the full set. */
+    std::optional<MsgTuple> predict(Addr block) const override;
+    ObserveResult observe(Addr block, MsgTuple actual) override;
+
+    /** Sender bitmask predicted for the block's current pattern. */
+    std::uint64_t setFor(Addr block) const;
+
+    /** Mean predicted-set size over all counted references: the cost
+     *  an action pays for sender ambiguity. */
+    double meanSetSize() const;
+
+  private:
+    struct PhtEntry
+    {
+        proto::MsgType type{};
+        std::uint64_t senders = 0;
+        NodeId lastSender = invalid_node;
+    };
+
+    struct BlockState
+    {
+        std::vector<MsgTuple> mhr;
+        std::unordered_map<std::uint64_t, PhtEntry> pht;
+    };
+
+    CosmosConfig cfg_;
+    std::unordered_map<Addr, BlockState> blocks_;
+    std::uint64_t setSizeSum_ = 0;
+    std::uint64_t setSamples_ = 0;
+};
+
+} // namespace cosmos::pred
+
+#endif // COSMOS_COSMOS_VARIANTS_HH

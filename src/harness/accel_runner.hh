@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Experiment driver for predictor-accelerated runs: the same pipeline
+ * as runWorkload(), but with an OnlineAccelerator attached to the
+ * machine, so Cosmos predictions steer the directory live.
+ */
+
+#ifndef COSMOS_HARNESS_ACCEL_RUNNER_HH
+#define COSMOS_HARNESS_ACCEL_RUNNER_HH
+
+#include "accel/online.hh"
+#include "harness/experiment.hh"
+
+namespace cosmos::harness
+{
+
+/** Result of an accelerated run. */
+struct AcceleratedRunResult
+{
+    RunResult run;
+    accel::OnlineStats accel;
+    /** Accuracy of the live predictors over the (accelerated)
+     *  message stream. */
+    double predictorAccuracyPercent = 0.0;
+};
+
+/** Run the named workload with the online accelerator attached. */
+AcceleratedRunResult runAccelerated(const RunConfig &cfg,
+                                    const accel::OnlineOptions &opts);
+
+/** Run a caller-constructed workload with the accelerator attached. */
+AcceleratedRunResult runAccelerated(const RunConfig &cfg,
+                                    wl::Workload &workload,
+                                    const accel::OnlineOptions &opts);
+
+} // namespace cosmos::harness
+
+#endif // COSMOS_HARNESS_ACCEL_RUNNER_HH

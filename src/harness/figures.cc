@@ -1,0 +1,112 @@
+#include "harness/figures.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cosmos::harness
+{
+
+void
+writeSignatureDot(const pred::ArcStats &arcs, const std::string &title,
+                  std::ostream &os, double min_ref_percent,
+                  double bold_ref_percent)
+{
+    const auto dominant = arcs.dominantArcs(min_ref_percent);
+
+    os << "digraph signature {\n";
+    os << "    label=\"" << title << "\";\n";
+    os << "    rankdir=LR;\n";
+    os << "    node [shape=box, fontname=\"Helvetica\"];\n";
+
+    std::set<proto::MsgType> nodes;
+    for (const auto &arc : dominant) {
+        nodes.insert(arc.from);
+        nodes.insert(arc.to);
+    }
+    for (auto t : nodes)
+        os << "    \"" << proto::toString(t) << "\";\n";
+
+    for (const auto &arc : dominant) {
+        os << "    \"" << proto::toString(arc.from) << "\" -> \""
+           << proto::toString(arc.to) << "\" [label=\""
+           << static_cast<int>(arc.hitPercent + 0.5) << "/"
+           << static_cast<int>(arc.refPercent + 0.5) << "\"";
+        if (arc.refPercent >= bold_ref_percent)
+            os << ", style=bold";
+        os << "];\n";
+    }
+    os << "}\n";
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+writeCsv(std::ostream &os, const std::vector<std::string> &header,
+         const std::vector<std::vector<std::string>> &rows)
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ',';
+            os << csvEscape(row[i]);
+        }
+        os << '\n';
+    };
+    emit(header);
+    for (const auto &row : rows) {
+        cosmos_assert(row.size() == header.size(),
+                      "CSV row width mismatch");
+        emit(row);
+    }
+}
+
+std::vector<std::string>
+dumpSignatureDots(const std::string &app,
+                  const pred::ArcStats &cache_arcs,
+                  const pred::ArcStats &dir_arcs,
+                  const std::string &directory)
+{
+    std::filesystem::create_directories(directory);
+    std::vector<std::string> paths;
+    const struct
+    {
+        const pred::ArcStats &arcs;
+        const char *role;
+    } sides[] = {{cache_arcs, "cache"}, {dir_arcs, "directory"}};
+    for (const auto &side : sides) {
+        const std::string path =
+            directory + "/" + app + "_" + side.role + ".dot";
+        std::ofstream os(path);
+        if (!os)
+            cosmos_fatal("cannot write figure file ", path);
+        writeSignatureDot(side.arcs,
+                          app + " at the " + side.role, os);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+} // namespace cosmos::harness

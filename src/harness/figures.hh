@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure artifacts: render measured signature graphs (the Figures 6/7
+ * view) as Graphviz dot, and tabular results as CSV, so the paper's
+ * figures can be regenerated graphically from a run.
+ */
+
+#ifndef COSMOS_HARNESS_FIGURES_HH
+#define COSMOS_HARNESS_FIGURES_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cosmos/arc_stats.hh"
+
+namespace cosmos::harness
+{
+
+/**
+ * Emit a Graphviz digraph of the dominant message signature.
+ *
+ * Nodes are message types; each arc is labelled "hit%/ref%" exactly
+ * like the paper's Figures 6/7, and dominant arcs (>= the threshold
+ * share of references) are drawn bold.
+ *
+ * @param arcs              measured transition statistics
+ * @param title             graph label (e.g. "moldyn at the cache")
+ * @param os                output stream
+ * @param min_ref_percent   drop arcs below this share
+ * @param bold_ref_percent  draw arcs at/above this share in bold
+ */
+void writeSignatureDot(const pred::ArcStats &arcs,
+                       const std::string &title, std::ostream &os,
+                       double min_ref_percent = 2.0,
+                       double bold_ref_percent = 10.0);
+
+/** Write a header row plus data rows as RFC-4180-ish CSV. */
+void writeCsv(std::ostream &os,
+              const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows);
+
+/**
+ * Convenience: write signature dot files for one application run
+ * (cache + directory) into @p directory; returns the file paths.
+ */
+std::vector<std::string> dumpSignatureDots(
+    const std::string &app, const pred::ArcStats &cache_arcs,
+    const pred::ArcStats &dir_arcs, const std::string &directory);
+
+} // namespace cosmos::harness
+
+#endif // COSMOS_HARNESS_FIGURES_HH

@@ -1,0 +1,83 @@
+#include "harness/trace_cache.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/log.hh"
+#include "trace/trace_io.hh"
+
+namespace cosmos::harness
+{
+
+namespace
+{
+
+std::mutex cache_mutex;
+std::map<std::string, trace::Trace> cache;
+
+std::string
+cacheKey(const std::string &app, int iterations, OwnerReadPolicy policy,
+         std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << app << "_it" << iterations << "_"
+       << (policy == OwnerReadPolicy::half_migratory ? "hm" : "dg")
+       << "_s" << std::hex << seed;
+    return os.str();
+}
+
+} // namespace
+
+const trace::Trace &
+cachedTrace(const std::string &app, int iterations,
+            OwnerReadPolicy policy, std::uint64_t seed)
+{
+    const std::string key = cacheKey(app, iterations, policy, seed);
+    std::lock_guard<std::mutex> guard(cache_mutex);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    // Disk cache, if configured.
+    const char *dir = std::getenv("COSMOS_TRACE_CACHE");
+    std::string path;
+    if (dir) {
+        std::filesystem::create_directories(dir);
+        path = std::string(dir) + "/" + key + ".trace";
+        if (std::filesystem::exists(path)) {
+            auto [pos, inserted] =
+                cache.emplace(key, trace::loadTrace(path));
+            cosmos_assert(inserted, "duplicate trace cache key");
+            return pos->second;
+        }
+    }
+
+    RunConfig cfg;
+    cfg.app = app;
+    cfg.iterations = iterations;
+    cfg.seed = seed;
+    cfg.machine.ownerReadPolicy = policy;
+    // Invariants are covered by the test suite; skip them on the
+    // (much longer) bench runs.
+    cfg.checkInvariants = false;
+    RunResult result = runWorkload(cfg);
+
+    if (dir)
+        trace::saveTrace(path, result.trace);
+
+    auto [pos, inserted] = cache.emplace(key, std::move(result.trace));
+    cosmos_assert(inserted, "duplicate trace cache key");
+    return pos->second;
+}
+
+void
+clearTraceCache()
+{
+    std::lock_guard<std::mutex> guard(cache_mutex);
+    cache.clear();
+}
+
+} // namespace cosmos::harness

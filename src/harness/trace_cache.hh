@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Process-wide trace cache.
+ *
+ * The paper evaluates many predictor configurations over the *same*
+ * traces (Tables 5-8 all reuse one set of runs). Simulation is the
+ * expensive step, so benches fetch traces through this cache: each
+ * distinct (app, iterations, policy, seed) is simulated once per
+ * process and optionally persisted to the directory named by the
+ * COSMOS_TRACE_CACHE environment variable for reuse across binaries.
+ */
+
+#ifndef COSMOS_HARNESS_TRACE_CACHE_HH
+#define COSMOS_HARNESS_TRACE_CACHE_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "trace/trace.hh"
+
+namespace cosmos::harness
+{
+
+/**
+ * Fetch (simulating on first use) the trace of a standard paper run.
+ *
+ * @param app         workload name ("appbt", ... )
+ * @param iterations  traced iterations; -1 = workload default
+ * @param policy      owner-read policy of the protocol
+ * @param seed        simulation seed
+ */
+const trace::Trace &cachedTrace(
+    const std::string &app, int iterations = -1,
+    OwnerReadPolicy policy = OwnerReadPolicy::half_migratory,
+    std::uint64_t seed = 0x5eedc05305ULL);
+
+/** Drop all in-memory cached traces (tests use this). */
+void clearTraceCache();
+
+} // namespace cosmos::harness
+
+#endif // COSMOS_HARNESS_TRACE_CACHE_HH

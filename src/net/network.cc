@@ -1,0 +1,26 @@
+#include "net/network_stats.hh"
+
+#include <sstream>
+
+namespace cosmos::net
+{
+
+double
+NetworkStats::meanLatency() const
+{
+    return remoteMessages == 0
+               ? 0.0
+               : static_cast<double>(totalLatency) /
+                     static_cast<double>(remoteMessages);
+}
+
+std::string
+NetworkStats::format() const
+{
+    std::ostringstream os;
+    os << "remote=" << remoteMessages << " local=" << localMessages
+       << " mean_latency=" << meanLatency() << "ns";
+    return os.str();
+}
+
+} // namespace cosmos::net

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Aggregate interconnect statistics.
+ */
+
+#ifndef COSMOS_NET_NETWORK_STATS_HH
+#define COSMOS_NET_NETWORK_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace cosmos::net
+{
+
+/** Counters kept by Network, independent of payload type. */
+struct NetworkStats
+{
+    std::uint64_t remoteMessages = 0;
+    std::uint64_t localMessages = 0;
+    Tick totalLatency = 0;
+
+    /** Mean end-to-end latency of remote messages, in ticks. */
+    double meanLatency() const;
+
+    /** Human-readable one-liner. */
+    std::string format() const;
+};
+
+} // namespace cosmos::net
+
+#endif // COSMOS_NET_NETWORK_STATS_HH

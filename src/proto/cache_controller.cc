@@ -1,0 +1,259 @@
+#include "proto/cache_controller.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace cosmos::proto
+{
+
+const char *
+toString(LineState s)
+{
+    switch (s) {
+      case LineState::invalid:    return "invalid";
+      case LineState::read_only:  return "read_only";
+      case LineState::read_write: return "read_write";
+      case LineState::wait_ro:    return "wait_ro";
+      case LineState::wait_rw:    return "wait_rw";
+      case LineState::wait_upg:   return "wait_upg";
+    }
+    return "?";
+}
+
+CacheController::CacheController(NodeId node, const AddrMap &amap,
+                                 const MachineConfig &cfg,
+                                 sim::EventQueue &eq, SendFn send)
+    : node_(node), amap_(amap), cfg_(cfg), eq_(eq),
+      sendFn_(std::move(send))
+{
+}
+
+LineState
+CacheController::state(Addr a) const
+{
+    auto it = lines_.find(amap_.blockBase(a));
+    return it == lines_.end() ? LineState::invalid : it->second;
+}
+
+void
+CacheController::setState(Addr block, LineState st)
+{
+    const LineState old = state(block);
+    const auto counted = [](LineState s) {
+        return s == LineState::read_only || s == LineState::read_write;
+    };
+    if (counted(old) && !counted(st))
+        --validLines_;
+    else if (!counted(old) && counted(st))
+        ++validLines_;
+    if (st == LineState::invalid)
+        lines_.erase(block);
+    else
+        lines_[block] = st;
+}
+
+void
+CacheController::evictForCapacity(Addr incoming_block)
+{
+    if (cfg_.cacheCapacityBlocks == 0 ||
+        validLines_ < cfg_.cacheCapacityBlocks) {
+        return;
+    }
+    // Drop the first quiescent read-only line that is not the block
+    // being fetched. Read-write lines are never dropped (a clean
+    // victim needs no writeback message). If everything is
+    // read-write the capacity is soft-exceeded.
+    for (const auto &[block, st] : lines_) {
+        if (block != incoming_block && st == LineState::read_only) {
+            setState(block, LineState::invalid);
+            ++stats_.evictions;
+            return;
+        }
+    }
+}
+
+void
+CacheController::forEachLine(
+    const std::function<void(Addr, LineState)> &fn) const
+{
+    for (const auto &[block, st] : lines_)
+        fn(block, st);
+}
+
+void
+CacheController::send(MsgType t, NodeId dst, Addr block)
+{
+    Msg m;
+    m.type = t;
+    m.src = node_;
+    m.dst = dst;
+    m.block = block;
+    m.requester = node_;
+    sendFn_(m);
+}
+
+bool
+CacheController::pendingOn(Addr a) const
+{
+    return pending_.count(amap_.blockBase(a)) != 0;
+}
+
+void
+CacheController::access(Addr a, bool write, DoneFn done)
+{
+    const Addr block = amap_.blockBase(a);
+    cosmos_assert(!pending_.count(block), "node ", node_,
+                  " issued an access to a block with a miss already "
+                  "outstanding");
+    LineState st = state(block);
+
+    if (write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    const bool hit = write ? (st == LineState::read_write)
+                           : (st == LineState::read_only ||
+                              st == LineState::read_write);
+    if (hit) {
+        if (write)
+            ++stats_.storeHits;
+        else
+            ++stats_.loadHits;
+        eq_.scheduleAfter(cfg_.cacheHitLatency, std::move(done));
+        return;
+    }
+
+    cosmos_assert(st == LineState::invalid || st == LineState::read_only,
+                  "access to block in transient state ", toString(st));
+
+    pending_.emplace(block, std::move(done));
+    const NodeId home = amap_.home(block);
+
+    if (!write) {
+        ++stats_.readMisses;
+        evictForCapacity(block);
+        setState(block, LineState::wait_ro);
+        send(MsgType::get_ro_request, home, block);
+    } else if (st == LineState::invalid) {
+        ++stats_.writeMisses;
+        evictForCapacity(block);
+        setState(block, LineState::wait_rw);
+        send(MsgType::get_rw_request, home, block);
+    } else {
+        ++stats_.upgrades;
+        setState(block, LineState::wait_upg);
+        send(MsgType::upgrade_request, home, block);
+    }
+}
+
+void
+CacheController::complete(Addr block, LineState final_state)
+{
+    setState(block, final_state);
+    auto it = pending_.find(block);
+    cosmos_assert(it != pending_.end(),
+                  "response with no pending access");
+    DoneFn done = std::move(it->second);
+    pending_.erase(it);
+    done();
+}
+
+void
+CacheController::handleMessage(const Msg &m)
+{
+    const Addr block = m.block;
+    const LineState st = state(block);
+
+    switch (m.type) {
+      case MsgType::get_ro_response:
+        cosmos_assert(pending_.count(block) &&
+                          st == LineState::wait_ro,
+                      "unexpected get_ro_response at node ", node_);
+        complete(block, LineState::read_only);
+        break;
+
+      case MsgType::get_rw_response:
+        // Answers a get_rw_request, an upgrade_request that raced
+        // with an invalidation of our shared copy (the directory
+        // promotes such upgrades to full read-write fetches), or a
+        // get_ro_request the directory answered *exclusive* because
+        // it predicted a read-modify-write (§4.1).
+        cosmos_assert(pending_.count(block) &&
+                          (st == LineState::wait_rw ||
+                           st == LineState::wait_upg ||
+                           st == LineState::wait_ro),
+                      "unexpected get_rw_response at node ", node_);
+        complete(block, LineState::read_write);
+        break;
+
+      case MsgType::upgrade_response:
+        cosmos_assert(pending_.count(block) &&
+                          st == LineState::wait_upg,
+                      "unexpected upgrade_response at node ", node_);
+        complete(block, LineState::read_write);
+        break;
+
+      case MsgType::inval_ro_request:
+        ++stats_.invalsReceived;
+        if (st == LineState::read_only) {
+            setState(block, LineState::invalid);
+        } else if (st == LineState::wait_upg) {
+            // Our shared copy is invalidated while our upgrade is
+            // queued at the directory; the directory will answer the
+            // upgrade with get_rw_response. Drop to wait_rw so that
+            // response is accepted.
+            setState(block, LineState::wait_rw);
+        } else if (st == LineState::invalid &&
+                   cfg_.cacheCapacityBlocks != 0) {
+            // With replacement, the directory's sharer list can be
+            // stale: we silently dropped this copy. Acknowledge.
+            ++stats_.staleInvals;
+        } else if ((st == LineState::wait_ro ||
+                    st == LineState::wait_rw) &&
+                   cfg_.cacheCapacityBlocks != 0) {
+            // Stale inval crossing our re-fetch of a dropped block:
+            // the directory serialized another writer first, so our
+            // queued request will be answered afterwards. Just ack.
+            ++stats_.staleInvals;
+        } else {
+            cosmos_panic("inval_ro_request for block in state ",
+                         toString(st), " at node ", node_);
+        }
+        send(MsgType::inval_ro_response, m.src, block);
+        break;
+
+      case MsgType::inval_rw_request:
+        ++stats_.invalsReceived;
+        cosmos_assert(st == LineState::read_write,
+                      "inval_rw_request for block in state ",
+                      toString(st), " at node ", node_);
+        setState(block, LineState::invalid);
+        if (m.forwarded) {
+            // Three-hop transfer: hand the data straight to the
+            // requester, plus a revision message home.
+            send(m.wantWritable ? MsgType::get_rw_response
+                                : MsgType::get_ro_response,
+                 m.requester, block);
+        }
+        send(MsgType::inval_rw_response, m.src, block);
+        break;
+
+      case MsgType::downgrade_request:
+        ++stats_.downgradesReceived;
+        cosmos_assert(st == LineState::read_write,
+                      "downgrade_request for block in state ",
+                      toString(st), " at node ", node_);
+        setState(block, LineState::read_only);
+        if (m.forwarded)
+            send(MsgType::get_ro_response, m.requester, block);
+        send(MsgType::downgrade_response, m.src, block);
+        break;
+
+      default:
+        cosmos_panic("cache ", node_, " received ", m.format());
+    }
+}
+
+} // namespace cosmos::proto

@@ -1,0 +1,418 @@
+#include "proto/directory_controller.hh"
+
+#include <bit>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace cosmos::proto
+{
+
+namespace
+{
+
+std::uint64_t
+bit(NodeId n)
+{
+    return std::uint64_t{1} << n;
+}
+
+} // namespace
+
+const char *
+toString(DirState s)
+{
+    switch (s) {
+      case DirState::idle:      return "idle";
+      case DirState::shared:    return "shared";
+      case DirState::exclusive: return "exclusive";
+    }
+    return "?";
+}
+
+DirectoryController::DirectoryController(NodeId node, const AddrMap &amap,
+                                         const MachineConfig &cfg,
+                                         sim::EventQueue &eq, SendFn send)
+    : node_(node), amap_(amap), cfg_(cfg), eq_(eq),
+      sendFn_(std::move(send))
+{
+    cosmos_assert(cfg.numNodes <= 64,
+                  "full-map sharer bitmask supports at most 64 nodes");
+}
+
+DirectoryController::Entry &
+DirectoryController::entry(Addr block)
+{
+    cosmos_assert(amap_.home(block) == node_, "block 0x", std::hex, block,
+                  " is not homed at this directory");
+    return entries_[block];
+}
+
+DirState
+DirectoryController::state(Addr block) const
+{
+    auto it = entries_.find(block);
+    return it == entries_.end() ? DirState::idle : it->second.state;
+}
+
+std::uint64_t
+DirectoryController::sharers(Addr block) const
+{
+    auto it = entries_.find(block);
+    return it == entries_.end() ? 0 : it->second.sharers;
+}
+
+NodeId
+DirectoryController::owner(Addr block) const
+{
+    auto it = entries_.find(block);
+    return it == entries_.end() ? invalid_node : it->second.owner;
+}
+
+bool
+DirectoryController::busy(Addr block) const
+{
+    auto it = entries_.find(block);
+    return it != entries_.end() && it->second.busy;
+}
+
+void
+DirectoryController::forEachEntry(
+    const std::function<void(Addr, DirState, std::uint64_t, NodeId)> &fn)
+    const
+{
+    for (const auto &[block, e] : entries_)
+        fn(block, e.state, e.sharers, e.owner);
+}
+
+void
+DirectoryController::respondAndFinish(MsgType t, NodeId dst, Addr block,
+                                      bool from_memory)
+{
+    Msg m;
+    m.type = t;
+    m.src = node_;
+    m.dst = dst;
+    m.block = block;
+    m.requester = dst;
+    const Tick delay = cfg_.protocolOccupancy +
+                       (from_memory ? cfg_.memoryLatency : 0);
+    eq_.scheduleAfter(delay, [this, m]() {
+        sendFn_(m);
+        finish(m.block);
+    });
+}
+
+void
+DirectoryController::forward(MsgType t, NodeId dst, Addr block,
+                             NodeId requester, bool want_writable)
+{
+    Msg m;
+    m.type = t;
+    m.src = node_;
+    m.dst = dst;
+    m.block = block;
+    m.requester = requester;
+    // Voluntary recalls (requester == owner) are never forwarded:
+    // there is no third party to answer.
+    m.forwarded = cfg_.forwarding && requester != dst &&
+                  (t == MsgType::inval_rw_request ||
+                   t == MsgType::downgrade_request);
+    m.wantWritable = want_writable;
+    eq_.scheduleAfter(cfg_.protocolOccupancy,
+                      [this, m]() { sendFn_(m); });
+}
+
+void
+DirectoryController::handleMessage(const Msg &m)
+{
+    switch (m.type) {
+      case MsgType::get_ro_request:
+      case MsgType::get_rw_request:
+      case MsgType::upgrade_request: {
+        ++stats_.requests;
+        Entry &e = entry(m.block);
+        if (e.busy) {
+            ++stats_.queued;
+            e.waiting.push_back(m);
+            return;
+        }
+        e.busy = true;
+        serve(m);
+        break;
+      }
+
+      case MsgType::inval_ro_response: {
+        Entry &e = entry(m.block);
+        cosmos_assert(e.busy && e.pendingAcks > 0,
+                      "stray inval_ro_response at directory ", node_);
+        e.sharers &= ~bit(m.src);
+        if (--e.pendingAcks == 0) {
+            // All shared copies gone; grant exclusivity.
+            const Msg &req = e.current;
+            e.state = DirState::exclusive;
+            e.sharers = 0;
+            e.owner = req.src;
+            respondAndFinish(e.genuineUpgrade
+                                 ? MsgType::upgrade_response
+                                 : MsgType::get_rw_response,
+                             req.src, m.block, !e.genuineUpgrade);
+        }
+        break;
+      }
+
+      case MsgType::inval_rw_response: {
+        Entry &e = entry(m.block);
+        cosmos_assert(e.busy && e.pendingAcks == 1,
+                      "stray inval_rw_response at directory ", node_);
+        e.pendingAcks = 0;
+        if (e.recall) {
+            // Voluntary recall completed: the data is home, nobody
+            // holds a copy, and there is no requester to answer.
+            e.recall = false;
+            e.state = DirState::idle;
+            e.sharers = 0;
+            e.owner = invalid_node;
+            finish(m.block);
+            break;
+        }
+        const Msg &req = e.current;
+        if (cfg_.forwarding) {
+            // The former owner already answered the requester
+            // directly (three-hop transfer); just settle the state.
+            if (req.type == MsgType::get_ro_request) {
+                e.state = DirState::shared;
+                e.sharers = bit(req.src);
+                e.owner = invalid_node;
+            } else {
+                e.state = DirState::exclusive;
+                e.sharers = 0;
+                e.owner = req.src;
+            }
+            finish(m.block);
+            break;
+        }
+        if (req.type == MsgType::get_ro_request) {
+            if (speculation_ &&
+                speculation_->grantExclusiveOnRead(m.block, req.src)) {
+                // Predicted read-modify-write: hand the reader an
+                // exclusive copy (§4.1).
+                ++stats_.exclusiveGrants;
+                e.state = DirState::exclusive;
+                e.sharers = 0;
+                e.owner = req.src;
+                respondAndFinish(MsgType::get_rw_response, req.src,
+                                 m.block, false);
+                break;
+            }
+            // Half-migratory: former owner invalidated; only the
+            // reader holds a copy now.
+            e.state = DirState::shared;
+            e.sharers = bit(req.src);
+            e.owner = invalid_node;
+            respondAndFinish(MsgType::get_ro_response, req.src,
+                             m.block, false);
+        } else {
+            e.state = DirState::exclusive;
+            e.sharers = 0;
+            e.owner = req.src;
+            respondAndFinish(MsgType::get_rw_response, req.src,
+                             m.block, false);
+        }
+        break;
+      }
+
+      case MsgType::downgrade_response: {
+        Entry &e = entry(m.block);
+        cosmos_assert(e.busy && e.pendingAcks == 1,
+                      "stray downgrade_response at directory ", node_);
+        cosmos_assert(e.current.type == MsgType::get_ro_request,
+                      "downgrade_response outside a read transaction");
+        e.pendingAcks = 0;
+        const Msg &req = e.current;
+        e.state = DirState::shared;
+        e.sharers = bit(m.src) | bit(req.src);
+        e.owner = invalid_node;
+        if (cfg_.forwarding) {
+            // Former owner already sent the data to the reader.
+            finish(m.block);
+            break;
+        }
+        respondAndFinish(MsgType::get_ro_response, req.src, m.block,
+                         false);
+        break;
+      }
+
+      default:
+        cosmos_panic("directory ", node_, " received ", m.format());
+    }
+}
+
+void
+DirectoryController::serve(const Msg &m)
+{
+    Entry &e = entry(m.block);
+    cosmos_assert(e.busy, "serve() without busy entry");
+    e.current = m;
+    e.genuineUpgrade = false;
+    e.pendingAcks = 0;
+
+    switch (m.type) {
+      case MsgType::get_ro_request:
+        serveRead(e, m);
+        break;
+      case MsgType::get_rw_request:
+        serveWrite(e, m, false);
+        break;
+      case MsgType::upgrade_request:
+        if (e.state == DirState::shared && (e.sharers & bit(m.src))) {
+            serveWrite(e, m, true);
+        } else {
+            // The requester's shared copy was invalidated while this
+            // upgrade was in flight; promote to a full write fetch.
+            ++stats_.upgradePromotions;
+            serveWrite(e, m, false);
+        }
+        break;
+      default:
+        cosmos_panic("serve() on non-request ", m.format());
+    }
+}
+
+void
+DirectoryController::serveRead(Entry &e, const Msg &m)
+{
+    switch (e.state) {
+      case DirState::idle:
+        if (speculation_ &&
+            speculation_->grantExclusiveOnRead(m.block, m.src)) {
+            // Predicted read-modify-write on an idle block (§4.1).
+            ++stats_.exclusiveGrants;
+            e.state = DirState::exclusive;
+            e.owner = m.src;
+            respondAndFinish(MsgType::get_rw_response, m.src, m.block,
+                             true);
+            break;
+        }
+        e.state = DirState::shared;
+        e.sharers = bit(m.src);
+        respondAndFinish(MsgType::get_ro_response, m.src, m.block,
+                         true);
+        break;
+
+      case DirState::shared:
+        e.sharers |= bit(m.src);
+        respondAndFinish(MsgType::get_ro_response, m.src, m.block,
+                         true);
+        break;
+
+      case DirState::exclusive:
+        cosmos_assert(e.owner != m.src,
+                      "owner read-missed its own exclusive block");
+        if (cfg_.ownerReadPolicy == OwnerReadPolicy::half_migratory) {
+            ++stats_.invalsSent;
+            e.pendingAcks = 1;
+            forward(MsgType::inval_rw_request, e.owner, m.block,
+                    m.src, false);
+        } else {
+            ++stats_.downgradesSent;
+            e.pendingAcks = 1;
+            forward(MsgType::downgrade_request, e.owner, m.block,
+                    m.src, false);
+        }
+        break;
+    }
+}
+
+void
+DirectoryController::serveWrite(Entry &e, const Msg &m,
+                                bool genuine_upgrade)
+{
+    e.genuineUpgrade = genuine_upgrade;
+    switch (e.state) {
+      case DirState::idle:
+        e.state = DirState::exclusive;
+        e.owner = m.src;
+        respondAndFinish(MsgType::get_rw_response, m.src, m.block,
+                         true);
+        break;
+
+      case DirState::shared: {
+        // A get_rw_request from a node still in the sharer list
+        // means the cache silently dropped its copy (replacement
+        // mode): the stale sharer bit is simply cleared.
+        cosmos_assert(genuine_upgrade || !(e.sharers & bit(m.src)) ||
+                          cfg_.cacheCapacityBlocks != 0,
+                      "get_rw_request from a live sharer");
+        e.sharers &= genuine_upgrade ? ~std::uint64_t{0}
+                                     : ~bit(m.src);
+        const std::uint64_t others = e.sharers & ~bit(m.src);
+        if (others == 0) {
+            // Upgrade with no other sharers: grant immediately.
+            e.state = DirState::exclusive;
+            e.sharers = 0;
+            e.owner = m.src;
+            respondAndFinish(genuine_upgrade
+                                 ? MsgType::upgrade_response
+                                 : MsgType::get_rw_response,
+                             m.src, m.block, !genuine_upgrade);
+            break;
+        }
+        for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+            if (others & bit(n)) {
+                ++stats_.invalsSent;
+                ++e.pendingAcks;
+                forward(MsgType::inval_ro_request, n, m.block, m.src,
+                        false);
+            }
+        }
+        break;
+      }
+
+      case DirState::exclusive:
+        cosmos_assert(e.owner != m.src,
+                      "owner write-missed its own exclusive block");
+        ++stats_.invalsSent;
+        e.pendingAcks = 1;
+        forward(MsgType::inval_rw_request, e.owner, m.block, m.src,
+                true);
+        break;
+    }
+}
+
+bool
+DirectoryController::voluntaryRecall(Addr block)
+{
+    auto it = entries_.find(block);
+    if (it == entries_.end())
+        return false;
+    Entry &e = it->second;
+    if (e.busy || e.state != DirState::exclusive)
+        return false;
+    e.busy = true;
+    e.recall = true;
+    e.pendingAcks = 1;
+    ++stats_.recalls;
+    ++stats_.invalsSent;
+    forward(MsgType::inval_rw_request, e.owner, block, e.owner,
+            false);
+    return true;
+}
+
+void
+DirectoryController::finish(Addr block)
+{
+    Entry &e = entry(block);
+    cosmos_assert(e.busy, "finish() on idle entry");
+    if (e.waiting.empty()) {
+        e.busy = false;
+        return;
+    }
+    Msg next = e.waiting.front();
+    e.waiting.pop_front();
+    // Stay busy; serve the queued request after the handler occupancy.
+    eq_.scheduleAfter(cfg_.protocolOccupancy,
+                      [this, next]() { serve(next); });
+}
+
+} // namespace cosmos::proto

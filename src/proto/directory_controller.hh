@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Per-node directory controller (full-map, write-invalidate).
+ *
+ * Each node is the home of the pages Stache allocated to it
+ * round-robin (§5.1) and keeps one directory entry per block of those
+ * pages. An entry records whether the block is idle, shared by a set
+ * of caches, or exclusive in one cache (§2.1). Requests for a block
+ * whose entry is mid-transaction are queued and served in arrival
+ * order, which serializes racing requests exactly like Stache's
+ * software handlers.
+ *
+ * The half-migratory optimization (§5.1) is implemented here: on a
+ * read miss to an exclusive block the directory asks the owner to
+ * *invalidate* its copy (inval_rw_request). The DASH-style alternative
+ * (downgrade_request, owner keeps a shared copy) is selectable via
+ * MachineConfig::ownerReadPolicy for the §6.1 ablation.
+ */
+
+#ifndef COSMOS_PROTO_DIRECTORY_CONTROLLER_HH
+#define COSMOS_PROTO_DIRECTORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/addr.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+#include "proto/messages.hh"
+#include "sim/event_queue.hh"
+
+namespace cosmos::proto
+{
+
+/** Quiescent directory-entry states (paper §2.1). */
+enum class DirState : std::uint8_t
+{
+    idle,      ///< no cached copies
+    shared,    ///< >= 1 read-only copies
+    exclusive, ///< exactly one writable copy
+};
+
+const char *toString(DirState s);
+
+/**
+ * Hook through which a predictor-driven accelerator (§4) steers the
+ * directory's speculative choices. The directory consults the hook at
+ * well-defined decision points; every action it can request moves the
+ * protocol between legal states, so mis-speculation needs no rollback
+ * (§4.3's first recovery class -- the cost is extra misses/messages).
+ */
+class DirectorySpeculation
+{
+  public:
+    virtual ~DirectorySpeculation() = default;
+
+    /**
+     * A get_ro_request from @p requester is about to be answered
+     * while no other cache would keep a copy. Return true to grant
+     * an *exclusive* copy instead of a shared one (the §4.1
+     * read-modify-write action).
+     */
+    virtual bool grantExclusiveOnRead(Addr block, NodeId requester) = 0;
+};
+
+/** Counters a directory keeps for reporting and tests. */
+struct DirectoryStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t invalsSent = 0;
+    std::uint64_t downgradesSent = 0;
+    std::uint64_t upgradePromotions = 0;
+    std::uint64_t exclusiveGrants = 0; ///< speculative RMW grants
+    std::uint64_t recalls = 0;         ///< voluntary owner recalls
+};
+
+/**
+ * One node's directory slice.
+ *
+ * The Machine routes every directory-role message for blocks homed at
+ * this node into handleMessage().
+ */
+class DirectoryController
+{
+  public:
+    using SendFn = std::function<void(const Msg &)>;
+
+    DirectoryController(NodeId node, const AddrMap &amap,
+                        const MachineConfig &cfg, sim::EventQueue &eq,
+                        SendFn send);
+
+    /** Deliver a protocol message addressed to this directory. */
+    void handleMessage(const Msg &m);
+
+    /** Install (or clear) the speculation hook; not owned. */
+    void setSpeculation(DirectorySpeculation *spec)
+    {
+        speculation_ = spec;
+    }
+
+    /**
+     * Voluntarily recall the exclusive owner's copy of @p block so
+     * the data sits at home before a predicted remote read arrives
+     * (producer-initiated hand-off, §4.1). A no-op unless the block
+     * is exclusive and quiescent.
+     *
+     * @return true if a recall transaction was started.
+     */
+    bool voluntaryRecall(Addr block);
+
+    /** State query for tests and invariant checks. */
+    DirState state(Addr block) const;
+
+    /** Sharer bitmask (valid in shared state). */
+    std::uint64_t sharers(Addr block) const;
+
+    /** Owner (valid in exclusive state). */
+    NodeId owner(Addr block) const;
+
+    /** True if a transaction is in flight for @p block. */
+    bool busy(Addr block) const;
+
+    NodeId node() const { return node_; }
+    const DirectoryStats &stats() const { return stats_; }
+
+    /** Enumerate all known entries (invariant checking support). */
+    void forEachEntry(const std::function<void(
+                          Addr, DirState, std::uint64_t, NodeId)> &fn)
+        const;
+
+  private:
+    struct Entry
+    {
+        DirState state = DirState::idle;
+        std::uint64_t sharers = 0;
+        NodeId owner = invalid_node;
+
+        bool busy = false;
+        std::deque<Msg> waiting;
+        Msg current{};
+        unsigned pendingAcks = 0;
+        /// current is an upgrade from a live sharer (answer with
+        /// upgrade_response rather than get_rw_response).
+        bool genuineUpgrade = false;
+        /// in-flight transaction is a voluntary owner recall with no
+        /// requester to answer.
+        bool recall = false;
+    };
+
+    Entry &entry(Addr block);
+    void serve(const Msg &m);
+    void serveRead(Entry &e, const Msg &m);
+    void serveWrite(Entry &e, const Msg &m, bool genuine_upgrade);
+    void finish(Addr block);
+    /**
+     * Send a response and complete the block's transaction. The
+     * entry stays busy until the response has actually left, so a
+     * queued request's invalidations can never overtake it on the
+     * directory-to-cache channel.
+     */
+    void respondAndFinish(MsgType t, NodeId dst, Addr block,
+                          bool from_memory);
+    void forward(MsgType t, NodeId dst, Addr block, NodeId requester,
+                 bool want_writable);
+
+    NodeId node_;
+    const AddrMap &amap_;
+    const MachineConfig &cfg_;
+    sim::EventQueue &eq_;
+    SendFn sendFn_;
+
+    std::unordered_map<Addr, Entry> entries_;
+    DirectoryStats stats_;
+    DirectorySpeculation *speculation_ = nullptr;
+};
+
+} // namespace cosmos::proto
+
+#endif // COSMOS_PROTO_DIRECTORY_CONTROLLER_HH

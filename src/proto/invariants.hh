@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Whole-machine coherence invariant checking.
+ *
+ * At quiescent points (no transaction in flight) the directories'
+ * bookkeeping must exactly match the caches' line states, and the
+ * single-writer / multiple-reader property must hold. Tests call this
+ * between iterations; violations indicate protocol bugs.
+ */
+
+#ifndef COSMOS_PROTO_INVARIANTS_HH
+#define COSMOS_PROTO_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "proto/machine.hh"
+
+namespace cosmos::proto
+{
+
+/**
+ * Check all coherence invariants.
+ *
+ * @return a list of human-readable violations; empty means the
+ *         machine state is coherent.
+ */
+std::vector<std::string> checkCoherence(const Machine &machine);
+
+} // namespace cosmos::proto
+
+#endif // COSMOS_PROTO_INVARIANTS_HH

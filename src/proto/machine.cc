@@ -1,0 +1,78 @@
+#include "proto/machine.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::proto
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), amap_(cfg.blockBytes, cfg.pageBytes, cfg.numNodes),
+      network_(eq_, cfg.numNodes, cfg.networkLatency,
+               cfg.networkInterfaceLatency)
+{
+    cfg_.validate();
+    auto send = [this](const Msg &m) {
+        network_.send(m.src, m.dst, m);
+    };
+    caches_.reserve(cfg_.numNodes);
+    directories_.reserve(cfg_.numNodes);
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        caches_.push_back(std::make_unique<CacheController>(
+            n, amap_, cfg_, eq_, send));
+        directories_.push_back(std::make_unique<DirectoryController>(
+            n, amap_, cfg_, eq_, send));
+        network_.attach(n, [this](const Msg &m, bool local) {
+            deliver(m, local);
+        });
+    }
+}
+
+CacheController &
+Machine::cache(NodeId n)
+{
+    cosmos_assert(n < caches_.size(), "bad node ", n);
+    return *caches_[n];
+}
+
+const CacheController &
+Machine::cache(NodeId n) const
+{
+    cosmos_assert(n < caches_.size(), "bad node ", n);
+    return *caches_[n];
+}
+
+DirectoryController &
+Machine::directory(NodeId n)
+{
+    cosmos_assert(n < directories_.size(), "bad node ", n);
+    return *directories_[n];
+}
+
+const DirectoryController &
+Machine::directory(NodeId n) const
+{
+    cosmos_assert(n < directories_.size(), "bad node ", n);
+    return *directories_[n];
+}
+
+void
+Machine::addObserver(MsgObserver *obs)
+{
+    observers_.push_back(obs);
+}
+
+void
+Machine::deliver(const Msg &m, bool local)
+{
+    const Role role = receiverRole(m.type);
+    if (!local) {
+        for (auto *obs : observers_)
+            obs->onMessage(m, role, iteration_, eq_.now());
+    }
+    if (role == Role::cache)
+        caches_[m.dst]->handleMessage(m);
+    else
+        directories_[m.dst]->handleMessage(m);
+}
+
+} // namespace cosmos::proto

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The simulated target machine: N nodes, each with a cache controller
+ * and a directory slice, connected by the fixed-latency network. This
+ * is the substrate standing in for the paper's 16-node Wisconsin Wind
+ * Tunnel II target (Table 3).
+ *
+ * Message observers (trace writers, online predictors) are notified of
+ * every *remote* incoming message together with the role of the
+ * receiving module -- the exact observation point Cosmos uses.
+ * Home-node-local messages are invisible, matching Stache's local
+ * optimization (§5.1).
+ */
+
+#ifndef COSMOS_PROTO_MACHINE_HH
+#define COSMOS_PROTO_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/addr.hh"
+#include "common/config.hh"
+#include "net/network.hh"
+#include "proto/cache_controller.hh"
+#include "proto/directory_controller.hh"
+#include "proto/messages.hh"
+#include "sim/event_queue.hh"
+
+namespace cosmos::proto
+{
+
+/** Observer of remote incoming coherence messages. */
+class MsgObserver
+{
+  public:
+    virtual ~MsgObserver() = default;
+
+    /**
+     * Called at delivery of each remote message.
+     *
+     * @param m         the message
+     * @param role      role of the receiving module (cache/directory)
+     * @param iteration application iteration tag set by the runtime
+     * @param when      delivery time
+     */
+    virtual void onMessage(const Msg &m, Role role, int iteration,
+                           Tick when) = 0;
+};
+
+/** The whole simulated machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    sim::EventQueue &eventQueue() { return eq_; }
+    const AddrMap &addrMap() const { return amap_; }
+    const MachineConfig &config() const { return cfg_; }
+
+    CacheController &cache(NodeId n);
+    const CacheController &cache(NodeId n) const;
+    DirectoryController &directory(NodeId n);
+    const DirectoryController &directory(NodeId n) const;
+
+    NodeId numNodes() const { return cfg_.numNodes; }
+
+    /** Register an observer (not owned). */
+    void addObserver(MsgObserver *obs);
+
+    /** Tag subsequent messages with application iteration @p it. */
+    void setIteration(int it) { iteration_ = it; }
+    int iteration() const { return iteration_; }
+
+    const net::NetworkStats &networkStats() const
+    {
+        return network_.stats();
+    }
+
+  private:
+    void deliver(const Msg &m, bool local);
+
+    MachineConfig cfg_;
+    AddrMap amap_;
+    sim::EventQueue eq_;
+    net::Network<Msg> network_;
+    std::vector<std::unique_ptr<CacheController>> caches_;
+    std::vector<std::unique_ptr<DirectoryController>> directories_;
+    std::vector<MsgObserver *> observers_;
+    int iteration_ = 0;
+};
+
+} // namespace cosmos::proto
+
+#endif // COSMOS_PROTO_MACHINE_HH

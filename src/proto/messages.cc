@@ -1,0 +1,96 @@
+#include "proto/messages.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cosmos::proto
+{
+
+Role
+receiverRole(MsgType t)
+{
+    switch (t) {
+      case MsgType::get_ro_request:
+      case MsgType::get_rw_request:
+      case MsgType::upgrade_request:
+      case MsgType::inval_ro_response:
+      case MsgType::inval_rw_response:
+      case MsgType::downgrade_response:
+        return Role::directory;
+      case MsgType::get_ro_response:
+      case MsgType::get_rw_response:
+      case MsgType::upgrade_response:
+      case MsgType::inval_ro_request:
+      case MsgType::inval_rw_request:
+      case MsgType::downgrade_request:
+        return Role::cache;
+    }
+    cosmos_panic("bad MsgType ", static_cast<int>(t));
+}
+
+bool
+isRequest(MsgType t)
+{
+    switch (t) {
+      case MsgType::get_ro_request:
+      case MsgType::get_rw_request:
+      case MsgType::upgrade_request:
+      case MsgType::inval_ro_request:
+      case MsgType::inval_rw_request:
+      case MsgType::downgrade_request:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+toString(MsgType t)
+{
+    switch (t) {
+      case MsgType::get_ro_request:     return "get_ro_request";
+      case MsgType::get_ro_response:    return "get_ro_response";
+      case MsgType::get_rw_request:     return "get_rw_request";
+      case MsgType::get_rw_response:    return "get_rw_response";
+      case MsgType::upgrade_request:    return "upgrade_request";
+      case MsgType::upgrade_response:   return "upgrade_response";
+      case MsgType::inval_ro_request:   return "inval_ro_request";
+      case MsgType::inval_ro_response:  return "inval_ro_response";
+      case MsgType::inval_rw_request:   return "inval_rw_request";
+      case MsgType::inval_rw_response:  return "inval_rw_response";
+      case MsgType::downgrade_request:  return "downgrade_request";
+      case MsgType::downgrade_response: return "downgrade_response";
+    }
+    return "?";
+}
+
+const char *
+toString(Role r)
+{
+    return r == Role::cache ? "cache" : "directory";
+}
+
+MsgType
+msgTypeFromString(const std::string &name)
+{
+    for (unsigned i = 0; i < num_msg_types; ++i) {
+        auto t = static_cast<MsgType>(i);
+        if (name == toString(t))
+            return t;
+    }
+    cosmos_panic("unknown message type name '", name, "'");
+}
+
+std::string
+Msg::format() const
+{
+    std::ostringstream os;
+    os << toString(type) << " " << src << "->" << dst << " block=0x"
+       << std::hex << block;
+    if (requester != invalid_node && requester != src)
+        os << std::dec << " for=" << requester;
+    return os.str();
+}
+
+} // namespace cosmos::proto

@@ -1,0 +1,31 @@
+#include "runtime/barrier.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace cosmos::runtime
+{
+
+Barrier::Barrier(sim::EventQueue &eq, NodeId parties,
+                 Tick release_latency)
+    : eq_(eq), parties_(parties), releaseLatency_(release_latency)
+{
+    cosmos_assert(parties > 0, "barrier needs at least one party");
+}
+
+void
+Barrier::arrive(ResumeFn resume)
+{
+    waiting_.push_back(std::move(resume));
+    cosmos_assert(waiting_.size() <= parties_,
+                  "more arrivals than barrier parties");
+    if (waiting_.size() == parties_) {
+        std::vector<ResumeFn> release = std::move(waiting_);
+        waiting_.clear();
+        for (auto &fn : release)
+            eq_.scheduleAfter(releaseLatency_, std::move(fn));
+    }
+}
+
+} // namespace cosmos::runtime

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Runtime barrier service.
+ *
+ * Stache implements barriers with point-to-point messages whose
+ * traffic the paper excludes from its traces (§5.1); here the barrier
+ * is a runtime service with a fixed release latency.
+ */
+
+#ifndef COSMOS_RUNTIME_BARRIER_HH
+#define COSMOS_RUNTIME_BARRIER_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace cosmos::runtime
+{
+
+/** Reusable N-party barrier. */
+class Barrier
+{
+  public:
+    using ResumeFn = std::function<void()>;
+
+    Barrier(sim::EventQueue &eq, NodeId parties, Tick release_latency);
+
+    /**
+     * Arrive at the barrier; @p resume fires once all parties have
+     * arrived. The barrier resets automatically for reuse.
+     */
+    void arrive(ResumeFn resume);
+
+    /** Number of parties currently waiting. */
+    std::size_t waiting() const { return waiting_.size(); }
+
+  private:
+    sim::EventQueue &eq_;
+    NodeId parties_;
+    Tick releaseLatency_;
+    std::vector<ResumeFn> waiting_;
+};
+
+} // namespace cosmos::runtime
+
+#endif // COSMOS_RUNTIME_BARRIER_HH

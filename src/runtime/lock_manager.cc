@@ -1,0 +1,57 @@
+#include "runtime/lock_manager.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace cosmos::runtime
+{
+
+LockManager::LockManager(sim::EventQueue &eq, Tick grant_latency)
+    : eq_(eq), grantLatency_(grant_latency)
+{
+}
+
+void
+LockManager::acquire(LockId l, GrantFn granted)
+{
+    LockState &s = locks_[l];
+    if (!s.held) {
+        s.held = true;
+        eq_.scheduleAfter(grantLatency_, std::move(granted));
+    } else {
+        s.waiting.push_back(std::move(granted));
+    }
+}
+
+void
+LockManager::release(LockId l)
+{
+    auto it = locks_.find(l);
+    cosmos_assert(it != locks_.end() && it->second.held,
+                  "release of unheld lock ", l);
+    LockState &s = it->second;
+    if (s.waiting.empty()) {
+        s.held = false;
+        return;
+    }
+    GrantFn next = std::move(s.waiting.front());
+    s.waiting.pop_front();
+    eq_.scheduleAfter(grantLatency_, std::move(next));
+}
+
+bool
+LockManager::held(LockId l) const
+{
+    auto it = locks_.find(l);
+    return it != locks_.end() && it->second.held;
+}
+
+std::size_t
+LockManager::waiters(LockId l) const
+{
+    auto it = locks_.find(l);
+    return it == locks_.end() ? 0 : it->second.waiting.size();
+}
+
+} // namespace cosmos::runtime

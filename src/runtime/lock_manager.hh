@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Runtime lock service.
+ *
+ * Locks serialize critical sections; the *order* in which processors
+ * win a lock is what creates migratory block movement in the
+ * workloads. Lock traffic itself is a runtime service and produces no
+ * coherence messages (the paper excludes synchronization variables
+ * from its traces, §5.1).
+ */
+
+#ifndef COSMOS_RUNTIME_LOCK_MANAGER_HH
+#define COSMOS_RUNTIME_LOCK_MANAGER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace cosmos::runtime
+{
+
+/** FIFO lock manager with a fixed acquire/hand-off latency. */
+class LockManager
+{
+  public:
+    using GrantFn = std::function<void()>;
+
+    LockManager(sim::EventQueue &eq, Tick grant_latency);
+
+    /**
+     * Request lock @p l; @p granted fires (via the event queue) when
+     * the lock is held by the caller.
+     */
+    void acquire(LockId l, GrantFn granted);
+
+    /** Release lock @p l, handing it to the next waiter if any. */
+    void release(LockId l);
+
+    /** True if @p l is currently held. */
+    bool held(LockId l) const;
+
+    /** Number of processors waiting on @p l. */
+    std::size_t waiters(LockId l) const;
+
+  private:
+    struct LockState
+    {
+        bool held = false;
+        std::deque<GrantFn> waiting;
+    };
+
+    sim::EventQueue &eq_;
+    Tick grantLatency_;
+    std::unordered_map<LockId, LockState> locks_;
+};
+
+} // namespace cosmos::runtime
+
+#endif // COSMOS_RUNTIME_LOCK_MANAGER_HH

@@ -1,0 +1,127 @@
+#include "runtime/processor.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace cosmos::runtime
+{
+
+Processor::Processor(NodeId id, proto::CacheController &cache,
+                     LockManager &locks, Barrier &barrier,
+                     sim::EventQueue &eq, unsigned window)
+    : id_(id), cache_(cache), locks_(locks), barrier_(barrier),
+      eq_(eq), window_(window == 0 ? 1 : window)
+{
+}
+
+void
+Processor::run(Program program, DoneFn done)
+{
+    cosmos_assert(!done_, "processor ", id_, " is already running");
+    program_ = std::move(program);
+    pc_ = 0;
+    done_ = std::move(done);
+    // Enter the program from the event loop so all processors start
+    // at a defined time.
+    eq_.scheduleAfter(0, [this]() { step(); });
+}
+
+void
+Processor::next()
+{
+    ++pc_;
+    step();
+}
+
+void
+Processor::step()
+{
+    // Issue as far ahead as the window and the dependences allow.
+    while (true) {
+        if (pc_ >= program_.size()) {
+            if (outstanding_ == 0 && done_) {
+                DoneFn done = std::move(done_);
+                done_ = nullptr;
+                done();
+            }
+            return;
+        }
+
+        const Op &op = program_[pc_];
+        const bool memory_op = op.kind == Op::Kind::read ||
+                               op.kind == Op::Kind::write;
+
+        if (memory_op) {
+            if (outstanding_ >= window_)
+                return; // window full: a completion re-enters step()
+            if (cache_.pendingOn(op.addr))
+                return; // same-block dependence: preserve order
+            ++opsExecuted_;
+            ++outstanding_;
+            ++pc_;
+            cache_.access(op.addr, op.kind == Op::Kind::write,
+                          [this]() {
+                              --outstanding_;
+                              step();
+                          });
+            continue;
+        }
+
+        // Synchronization and think time drain the window first.
+        if (outstanding_ > 0)
+            return;
+        ++opsExecuted_;
+        switch (op.kind) {
+          case Op::Kind::lock:
+            locks_.acquire(op.lock, [this]() { next(); });
+            return;
+          case Op::Kind::unlock:
+            locks_.release(op.lock);
+            eq_.scheduleAfter(1, [this]() { next(); });
+            return;
+          case Op::Kind::barrier:
+            barrier_.arrive([this]() { next(); });
+            return;
+          case Op::Kind::think:
+            eq_.scheduleAfter(op.delay < 1 ? 1 : op.delay,
+                              [this]() { next(); });
+            return;
+          default:
+            cosmos_panic("unhandled op kind");
+        }
+    }
+}
+
+Runtime::Runtime(proto::Machine &machine)
+    : machine_(machine),
+      locks_(machine.eventQueue(), /*grant_latency=*/200),
+      barrier_(machine.eventQueue(), machine.numNodes(),
+               /*release_latency=*/400)
+{
+    procs_.reserve(machine.numNodes());
+    for (NodeId n = 0; n < machine.numNodes(); ++n) {
+        procs_.push_back(std::make_unique<Processor>(
+            n, machine.cache(n), locks_, barrier_,
+            machine.eventQueue(),
+            machine.config().memoryLevelParallelism));
+    }
+}
+
+void
+Runtime::runPrograms(std::vector<Program> programs)
+{
+    cosmos_assert(programs.size() == procs_.size(),
+                  "program count != processor count");
+    std::size_t pending = procs_.size();
+    for (NodeId n = 0; n < procs_.size(); ++n) {
+        procs_[n]->run(std::move(programs[n]),
+                       [&pending]() { --pending; });
+    }
+    machine_.eventQueue().run();
+    cosmos_assert(pending == 0,
+                  "deadlock: event queue drained with ", pending,
+                  " processors still blocked");
+}
+
+} // namespace cosmos::runtime

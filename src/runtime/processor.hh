@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Blocking single-issue processors and the Runtime that drives one
+ * application iteration through the machine.
+ */
+
+#ifndef COSMOS_RUNTIME_PROCESSOR_HH
+#define COSMOS_RUNTIME_PROCESSOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "proto/machine.hh"
+#include "runtime/barrier.hh"
+#include "runtime/lock_manager.hh"
+#include "runtime/program.hh"
+
+namespace cosmos::runtime
+{
+
+/**
+ * One processor executing its Program in order. With an issue window
+ * of 1 (the paper's blocking target model) every read/write blocks
+ * until the cache completes it; with a wider window up to W misses
+ * to distinct blocks overlap (non-blocking caches). Accesses to a
+ * block with a miss in flight, and all synchronization operations,
+ * wait for the relevant drains, so per-block access order -- the
+ * thing message signatures depend on -- is preserved.
+ */
+class Processor
+{
+  public:
+    using DoneFn = std::function<void()>;
+
+    Processor(NodeId id, proto::CacheController &cache,
+              LockManager &locks, Barrier &barrier,
+              sim::EventQueue &eq, unsigned window = 1);
+
+    /** Begin executing @p program; @p done fires at the last op. */
+    void run(Program program, DoneFn done);
+
+    NodeId id() const { return id_; }
+    std::uint64_t opsExecuted() const { return opsExecuted_; }
+
+  private:
+    void step();
+    void next();
+
+    NodeId id_;
+    proto::CacheController &cache_;
+    LockManager &locks_;
+    Barrier &barrier_;
+    sim::EventQueue &eq_;
+    unsigned window_;
+
+    Program program_;
+    std::size_t pc_ = 0;
+    std::size_t outstanding_ = 0;
+    DoneFn done_;
+    std::uint64_t opsExecuted_ = 0;
+};
+
+/**
+ * Owns the processors, lock manager, and barrier for a Machine and
+ * runs per-iteration program sets to completion.
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(proto::Machine &machine);
+
+    /**
+     * Execute one iteration: every processor runs its program; the
+     * event queue is drained. Panics if the queue drains while a
+     * processor is still blocked (deadlock).
+     */
+    void runPrograms(std::vector<Program> programs);
+
+    Processor &processor(NodeId n) { return *procs_[n]; }
+    LockManager &lockManager() { return locks_; }
+
+  private:
+    proto::Machine &machine_;
+    LockManager locks_;
+    Barrier barrier_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+};
+
+} // namespace cosmos::runtime
+
+#endif // COSMOS_RUNTIME_PROCESSOR_HH

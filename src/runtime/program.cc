@@ -1,0 +1,15 @@
+#include "runtime/program.hh"
+
+namespace cosmos::runtime
+{
+
+std::size_t
+ProgramBuilder::totalOps() const
+{
+    std::size_t n = 0;
+    for (const auto &p : programs_)
+        n += p.size();
+    return n;
+}
+
+} // namespace cosmos::runtime

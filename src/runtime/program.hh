@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-processor access programs.
+ *
+ * Workload kernels do their real computation on the host and express
+ * the *shared-memory access skeleton* of one application iteration as
+ * a per-processor list of operations: reads, writes, lock/unlock of a
+ * runtime lock, barriers, and think time. Synchronization is a runtime
+ * service (its traffic is not part of the coherence message stream,
+ * matching the paper's exclusion of barrier variables, §5.1).
+ */
+
+#ifndef COSMOS_RUNTIME_PROGRAM_HH
+#define COSMOS_RUNTIME_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace cosmos::runtime
+{
+
+/** One step of a processor's program. */
+struct Op
+{
+    enum class Kind : std::uint8_t
+    {
+        read,    ///< load from addr
+        write,   ///< store to addr
+        lock,    ///< acquire runtime lock
+        unlock,  ///< release runtime lock
+        barrier, ///< global barrier
+        think,   ///< local compute for delay ticks
+    };
+
+    Kind kind{};
+    Addr addr = 0;
+    LockId lock = 0;
+    Tick delay = 0;
+};
+
+/** A processor's ordered operation list for one iteration. */
+using Program = std::vector<Op>;
+
+/**
+ * Builds the per-processor programs of one iteration.
+ *
+ * The per-processor proxy keeps kernel code readable:
+ * @code
+ *   b.proc(p).read(a).write(a).lockAcq(l).write(f).unlock(l);
+ *   b.barrier();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    /** Chainable per-processor appender. */
+    class ProcRef
+    {
+      public:
+        ProcRef(ProgramBuilder &b, NodeId p) : b_(b), p_(p) {}
+
+        ProcRef &
+        read(Addr a)
+        {
+            b_.programs_[p_].push_back(
+                {Op::Kind::read, a, 0, 0});
+            return *this;
+        }
+
+        ProcRef &
+        write(Addr a)
+        {
+            b_.programs_[p_].push_back(
+                {Op::Kind::write, a, 0, 0});
+            return *this;
+        }
+
+        ProcRef &
+        lockAcq(LockId l)
+        {
+            b_.programs_[p_].push_back(
+                {Op::Kind::lock, 0, l, 0});
+            return *this;
+        }
+
+        ProcRef &
+        unlock(LockId l)
+        {
+            b_.programs_[p_].push_back(
+                {Op::Kind::unlock, 0, l, 0});
+            return *this;
+        }
+
+        ProcRef &
+        think(Tick t)
+        {
+            b_.programs_[p_].push_back(
+                {Op::Kind::think, 0, 0, t});
+            return *this;
+        }
+
+      private:
+        ProgramBuilder &b_;
+        NodeId p_;
+    };
+
+    explicit ProgramBuilder(NodeId num_procs)
+        : programs_(num_procs)
+    {
+    }
+
+    /** Appender for processor @p p. */
+    ProcRef
+    proc(NodeId p)
+    {
+        cosmos_assert(p < programs_.size(), "bad processor ", p);
+        return ProcRef(*this, p);
+    }
+
+    /** Append a barrier to every processor. */
+    void
+    barrier()
+    {
+        for (auto &prog : programs_)
+            prog.push_back({Op::Kind::barrier, 0, 0, 0});
+    }
+
+    NodeId numProcs() const
+    {
+        return static_cast<NodeId>(programs_.size());
+    }
+
+    /** Total number of operations across processors. */
+    std::size_t totalOps() const;
+
+    /** Move the built programs out. */
+    std::vector<Program> take() { return std::move(programs_); }
+
+  private:
+    friend class ProcRef;
+    std::vector<Program> programs_;
+};
+
+} // namespace cosmos::runtime
+
+#endif // COSMOS_RUNTIME_PROGRAM_HH

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace cosmos::sim
+{
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    cosmos_assert(when >= now_, "scheduling into the past: when=", when,
+                  " now=", now_);
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, EventFn fn)
+{
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top returns const&; move out via const_cast is
+    // not worth it -- copy the (small) function object instead.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+} // namespace cosmos::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation core.
+ *
+ * This is the substrate standing in for the Wisconsin Wind Tunnel II:
+ * every timed behaviour in the simulated machine (network delivery,
+ * protocol occupancy, memory latency, processor progress) is an event
+ * on this queue. Events at equal ticks fire in schedule order, which
+ * makes whole-machine runs bit-reproducible.
+ */
+
+#ifndef COSMOS_SIM_EVENT_QUEUE_HH
+#define COSMOS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cosmos::sim
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A time-ordered queue of callback events.
+ *
+ * Ties at the same tick break by schedule order (FIFO), so a run is a
+ * pure function of the schedule calls made into it.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleAfter(Tick delay, EventFn fn);
+
+    /** Fire the earliest event. @return false if the queue was empty. */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or @p max_events fire.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cosmos::sim
+
+#endif // COSMOS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,158 @@
+#include "trace/pattern_census.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace cosmos::trace
+{
+
+const char *
+toString(SharingPattern p)
+{
+    switch (p) {
+      case SharingPattern::rarely_touched:    return "rarely-touched";
+      case SharingPattern::read_only:         return "read-only";
+      case SharingPattern::producer_consumer: return "producer-consumer";
+      case SharingPattern::migratory:         return "migratory";
+      case SharingPattern::multi_writer:      return "multi-writer";
+    }
+    return "?";
+}
+
+double
+PatternCensus::blockPercent(SharingPattern p) const
+{
+    return totalBlocks == 0
+               ? 0.0
+               : 100.0 *
+                     static_cast<double>(
+                         blocks[static_cast<unsigned>(p)]) /
+                     static_cast<double>(totalBlocks);
+}
+
+double
+PatternCensus::messagePercent(SharingPattern p) const
+{
+    return totalMessages == 0
+               ? 0.0
+               : 100.0 *
+                     static_cast<double>(
+                         messages[static_cast<unsigned>(p)]) /
+                     static_cast<double>(totalMessages);
+}
+
+std::string
+PatternCensus::format() const
+{
+    std::ostringstream os;
+    for (unsigned i = 0; i < num_sharing_patterns; ++i) {
+        const auto p = static_cast<SharingPattern>(i);
+        os << toString(p) << ": " << blockPercent(p) << "% blocks / "
+           << messagePercent(p) << "% messages\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+struct BlockHistory
+{
+    std::uint64_t messages = 0;
+    std::uint64_t writes = 0; // rw fetches + upgrades
+    std::uint64_t reads = 0;  // ro fetches
+    std::map<NodeId, std::uint64_t> writersByCount;
+    std::set<NodeId> readers;
+    /** Reads later upgraded by the same node (migratory hand-offs). */
+    std::uint64_t readThenUpgrade = 0;
+    NodeId lastReader = invalid_node;
+};
+
+SharingPattern
+classify(const BlockHistory &h, unsigned min_messages)
+{
+    if (h.messages < min_messages)
+        return SharingPattern::rarely_touched;
+    if (h.writes == 0)
+        return SharingPattern::read_only;
+
+    // Producer-consumer first: one writer dominates and someone else
+    // reads. A producer that reads before writing (appbt's stencil)
+    // must land here, not in migratory -- ownership never rotates.
+    std::uint64_t top_writes = 0;
+    NodeId top_writer = invalid_node;
+    for (const auto &[node, count] : h.writersByCount) {
+        if (count > top_writes) {
+            top_writes = count;
+            top_writer = node;
+        }
+    }
+    const bool dominant_writer =
+        static_cast<double>(top_writes) /
+            static_cast<double>(h.writes) >=
+        0.8;
+    bool external_reader = false;
+    for (NodeId r : h.readers)
+        external_reader |= r != top_writer;
+    if (dominant_writer && external_reader)
+        return SharingPattern::producer_consumer;
+
+    // Migratory: ownership rotates -- no dominant writer, and a
+    // significant share of reads turns into an upgrade by the same
+    // node (the read-modify-write hand-off).
+    if (h.writersByCount.size() >= 2 && h.reads > 0 &&
+        static_cast<double>(h.readThenUpgrade) /
+                static_cast<double>(h.reads) >=
+            0.3) {
+        return SharingPattern::migratory;
+    }
+
+    return SharingPattern::multi_writer;
+}
+
+} // namespace
+
+PatternCensus
+classifyTrace(const Trace &t, unsigned min_messages)
+{
+    std::map<Addr, BlockHistory> histories;
+    for (const auto &r : t.records) {
+        if (r.role != proto::Role::directory)
+            continue;
+        BlockHistory &h = histories[r.block];
+        ++h.messages;
+        switch (r.type) {
+          case proto::MsgType::get_ro_request:
+            ++h.reads;
+            h.readers.insert(r.sender);
+            h.lastReader = r.sender;
+            break;
+          case proto::MsgType::upgrade_request:
+            ++h.writes;
+            ++h.writersByCount[r.sender];
+            if (r.sender == h.lastReader)
+                ++h.readThenUpgrade;
+            break;
+          case proto::MsgType::get_rw_request:
+            ++h.writes;
+            ++h.writersByCount[r.sender];
+            break;
+          default:
+            break;
+        }
+    }
+
+    PatternCensus census;
+    for (const auto &[block, h] : histories) {
+        const auto p = classify(h, min_messages);
+        ++census.blocks[static_cast<unsigned>(p)];
+        census.messages[static_cast<unsigned>(p)] += h.messages;
+        ++census.totalBlocks;
+        census.totalMessages += h.messages;
+    }
+    return census;
+}
+
+} // namespace cosmos::trace

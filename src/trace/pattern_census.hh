@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sharing-pattern census: classify every cache block of a trace into
+ * the classical sharing-pattern taxonomy the paper builds on
+ * (Bennett/Carter/Zwaenepoel and Weber/Gupta -- references [7, 13]):
+ * read-only, producer-consumer, migratory, multi-writer, and
+ * rarely-touched. §6.1 attributes each application's predictability
+ * to its mix of these patterns; this module measures that mix
+ * directly from the directory-side message stream, validating that
+ * the workload kernels exercise the sharing structure they claim.
+ */
+
+#ifndef COSMOS_TRACE_PATTERN_CENSUS_HH
+#define COSMOS_TRACE_PATTERN_CENSUS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace cosmos::trace
+{
+
+/** The classical sharing-pattern classes. */
+enum class SharingPattern
+{
+    rarely_touched,    ///< too few messages to classify
+    read_only,         ///< fetched, never written
+    producer_consumer, ///< one dominant writer, other readers
+    migratory,         ///< ownership rotates: read then write by the
+                       ///< same (changing) node
+    multi_writer,      ///< several writers, no migratory discipline
+                       ///< (false sharing, contended counters)
+};
+
+const char *toString(SharingPattern p);
+
+constexpr unsigned num_sharing_patterns = 5;
+
+/** Census result: block and message counts per pattern class. */
+struct PatternCensus
+{
+    std::uint64_t blocks[num_sharing_patterns] = {};
+    std::uint64_t messages[num_sharing_patterns] = {};
+    std::uint64_t totalBlocks = 0;
+    std::uint64_t totalMessages = 0;
+
+    double blockPercent(SharingPattern p) const;
+    double messagePercent(SharingPattern p) const;
+
+    /** One line per class, "name: blocks% / messages%". */
+    std::string format() const;
+};
+
+/**
+ * Classify every block of @p t from its directory-side records.
+ *
+ * @param min_messages  blocks with fewer directory-side messages are
+ *                      binned as rarely_touched
+ */
+PatternCensus classifyTrace(const Trace &t,
+                            unsigned min_messages = 6);
+
+} // namespace cosmos::trace
+
+#endif // COSMOS_TRACE_PATTERN_CENSUS_HH

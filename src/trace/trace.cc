@@ -1,0 +1,57 @@
+#include "trace/trace.hh"
+
+#include <unordered_set>
+
+namespace cosmos::trace
+{
+
+std::size_t
+Trace::cacheRecords() const
+{
+    std::size_t n = 0;
+    for (const auto &r : records)
+        if (r.role == proto::Role::cache)
+            ++n;
+    return n;
+}
+
+std::size_t
+Trace::directoryRecords() const
+{
+    return records.size() - cacheRecords();
+}
+
+std::size_t
+Trace::distinctBlocks() const
+{
+    std::unordered_set<Addr> blocks;
+    for (const auto &r : records)
+        blocks.insert(r.block);
+    return blocks.size();
+}
+
+TraceRecorder::TraceRecorder(Trace &out, std::int32_t warmup_iterations)
+    : out_(out), warmup_(warmup_iterations)
+{
+}
+
+void
+TraceRecorder::onMessage(const proto::Msg &m, proto::Role role,
+                         int iteration, Tick when)
+{
+    if (iteration < warmup_) {
+        ++dropped_;
+        return;
+    }
+    TraceRecord r;
+    r.block = m.block;
+    r.when = when;
+    r.receiver = m.dst;
+    r.sender = m.src;
+    r.type = m.type;
+    r.role = role;
+    r.iteration = iteration;
+    out_.records.push_back(r);
+}
+
+} // namespace cosmos::trace

@@ -1,0 +1,126 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace cosmos::trace
+{
+
+namespace
+{
+
+constexpr std::uint32_t trace_magic = 0xc0530501; // "cosmos" v1
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        cosmos_panic("truncated trace stream");
+    return v;
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+getString(std::istream &is)
+{
+    const auto n = get<std::uint32_t>(is);
+    if (n > (1u << 20))
+        cosmos_panic("implausible string length in trace: ", n);
+    std::string s(n, '\0');
+    is.read(s.data(), n);
+    if (!is)
+        cosmos_panic("truncated trace stream");
+    return s;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const Trace &t)
+{
+    put(os, trace_magic);
+    putString(os, t.app);
+    put(os, t.numNodes);
+    put(os, t.blockBytes);
+    put(os, t.iterations);
+    put(os, t.seed);
+    put<std::uint64_t>(os, t.records.size());
+    for (const auto &r : t.records) {
+        put(os, r.block);
+        put(os, r.when);
+        put(os, r.receiver);
+        put(os, r.sender);
+        put(os, static_cast<std::uint8_t>(r.type));
+        put(os, static_cast<std::uint8_t>(r.role));
+        put(os, r.iteration);
+    }
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    if (get<std::uint32_t>(is) != trace_magic)
+        cosmos_panic("bad trace magic");
+    Trace t;
+    t.app = getString(is);
+    t.numNodes = get<NodeId>(is);
+    t.blockBytes = get<unsigned>(is);
+    t.iterations = get<std::int32_t>(is);
+    t.seed = get<std::uint64_t>(is);
+    const auto n = get<std::uint64_t>(is);
+    t.records.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TraceRecord r;
+        r.block = get<Addr>(is);
+        r.when = get<Tick>(is);
+        r.receiver = get<NodeId>(is);
+        r.sender = get<NodeId>(is);
+        r.type = static_cast<proto::MsgType>(get<std::uint8_t>(is));
+        r.role = static_cast<proto::Role>(get<std::uint8_t>(is));
+        r.iteration = get<std::int32_t>(is);
+        t.records.push_back(r);
+    }
+    return t;
+}
+
+void
+saveTrace(const std::string &path, const Trace &t)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        cosmos_fatal("cannot open trace file for writing: ", path);
+    writeTrace(os, t);
+    if (!os)
+        cosmos_fatal("error writing trace file: ", path);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        cosmos_fatal("cannot open trace file: ", path);
+    return readTrace(is);
+}
+
+} // namespace cosmos::trace

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary serialization of coherence-message traces, so expensive
+ * simulations can be captured once and replayed through predictors.
+ */
+
+#ifndef COSMOS_TRACE_TRACE_IO_HH
+#define COSMOS_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace cosmos::trace
+{
+
+/** Write @p t to @p os in the cosmos binary trace format. */
+void writeTrace(std::ostream &os, const Trace &t);
+
+/** Read a trace from @p is; panics on a malformed stream. */
+Trace readTrace(std::istream &is);
+
+/** File-path convenience wrappers (fatal on I/O failure). */
+void saveTrace(const std::string &path, const Trace &t);
+Trace loadTrace(const std::string &path);
+
+} // namespace cosmos::trace
+
+#endif // COSMOS_TRACE_TRACE_IO_HH

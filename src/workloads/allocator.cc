@@ -1,0 +1,39 @@
+#include "workloads/allocator.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::wl
+{
+
+Allocator::Allocator(const AddrMap &amap) : amap_(amap)
+{
+}
+
+Addr
+Allocator::allocate(std::size_t bytes, const std::string &label)
+{
+    cosmos_assert(bytes > 0, "zero-byte allocation '", label, "'");
+    const Addr base = next_;
+    const std::size_t page = amap_.pageBytes();
+    const std::size_t rounded = (bytes + page - 1) / page * page;
+    next_ += rounded;
+    regions_.push_back({label, base, rounded});
+    return base;
+}
+
+Addr
+Allocator::blockElem(Addr base, std::size_t idx) const
+{
+    return base + idx * amap_.blockBytes();
+}
+
+std::size_t
+Allocator::bytesAllocated() const
+{
+    std::size_t n = 0;
+    for (const auto &r : regions_)
+        n += r.bytes;
+    return n;
+}
+
+} // namespace cosmos::wl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Page-granular shared-memory allocator for workload kernels.
+ *
+ * Regions are carved out of the simulated address space sequentially
+ * at page granularity; because Stache homes pages round-robin
+ * (AddrMap::home), consecutive pages of a region land on consecutive
+ * nodes, like the paper's §5.1 allocation.
+ */
+
+#ifndef COSMOS_WORKLOADS_ALLOCATOR_HH
+#define COSMOS_WORKLOADS_ALLOCATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/addr.hh"
+#include "common/types.hh"
+
+namespace cosmos::wl
+{
+
+/** Sequential page-granular allocator. */
+class Allocator
+{
+  public:
+    struct Region
+    {
+        std::string label;
+        Addr base = 0;
+        std::size_t bytes = 0;
+    };
+
+    explicit Allocator(const AddrMap &amap);
+
+    /**
+     * Allocate a page-aligned region of at least @p bytes.
+     * @return the region base address.
+     */
+    Addr allocate(std::size_t bytes, const std::string &label);
+
+    /**
+     * Address of element @p idx of an array at @p base with one
+     * element per cache block (the kernels' default layout, which
+     * avoids unintended false sharing).
+     */
+    Addr blockElem(Addr base, std::size_t idx) const;
+
+    /** Address of byte-strided element (used to *create* false
+     *  sharing deliberately). */
+    static Addr
+    stridedElem(Addr base, std::size_t idx, std::size_t stride)
+    {
+        return base + idx * stride;
+    }
+
+    const std::vector<Region> &regions() const { return regions_; }
+    std::size_t bytesAllocated() const;
+
+  private:
+    const AddrMap &amap_;
+    Addr next_ = 0;
+    std::vector<Region> regions_;
+};
+
+} // namespace cosmos::wl
+
+#endif // COSMOS_WORKLOADS_ALLOCATOR_HH

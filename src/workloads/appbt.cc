@@ -1,0 +1,204 @@
+#include "workloads/appbt.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cosmos::wl
+{
+
+AppBt::AppBt(const AppBtParams &params) : p_(params)
+{
+    info_.name = "appbt";
+    info_.description =
+        "3-D stencil CFD; producer-consumer along sub-block faces";
+    info_.iterations = p_.iterations;
+    info_.warmupIterations = p_.warmupIterations;
+}
+
+unsigned
+AppBt::cellIndex(unsigned x, unsigned y, unsigned z) const
+{
+    return (z * p_.ny + y) * p_.nx + x;
+}
+
+NodeId
+AppBt::ownerOf(unsigned x, unsigned y) const
+{
+    const unsigned sx = p_.nx / p_.px;
+    const unsigned sy = p_.ny / p_.py;
+    return static_cast<NodeId>((y / sy) * p_.px + (x / sx));
+}
+
+void
+AppBt::setup(const AddrMap &amap, NodeId num_procs, std::uint64_t seed)
+{
+    cosmos_assert(num_procs == p_.px * p_.py,
+                  "appbt needs px*py = ", p_.px * p_.py,
+                  " processors, got ", num_procs);
+    cosmos_assert(p_.nx % p_.px == 0 && p_.ny % p_.py == 0,
+                  "grid must divide evenly among processors");
+    amap_ = &amap;
+    numProcs_ = num_procs;
+    rng_ = std::make_unique<Rng>(seed ^ 0xa99b70ULL);
+    alloc_ = std::make_unique<Allocator>(amap);
+
+    const unsigned cells = p_.nx * p_.ny * p_.nz;
+    gridBase_ = alloc_->allocate(
+        static_cast<std::size_t>(cells) * amap.blockBytes(), "u");
+    // Residual arrays with two processors' elements per block: the
+    // deliberate false sharing of §6.1. Array k pairs processor p
+    // with processor p ^ (1 << k) (wrapped), so different arrays
+    // create different false-sharing partners.
+    falseShareBase_.clear();
+    for (unsigned a = 0; a < p_.falseShareArrays; ++a) {
+        falseShareBase_.push_back(alloc_->allocate(
+            static_cast<std::size_t>(num_procs) *
+                (amap.blockBytes() / 2),
+            "residual" + std::to_string(a)));
+    }
+
+    sparseBase_ = alloc_->allocate(
+        static_cast<std::size_t>(p_.sparseBlocks) * amap.blockBytes(),
+        "sparse");
+
+    boundary_.assign(num_procs, {});
+    ghosts_.assign(num_procs, {});
+    interior_.assign(num_procs, {});
+    const unsigned sx = p_.nx / p_.px;
+    const unsigned sy = p_.ny / p_.py;
+    for (NodeId proc = 0; proc < num_procs; ++proc) {
+        const unsigned x0 = (proc % p_.px) * sx;
+        const unsigned y0 = (proc / p_.px) * sy;
+        for (unsigned z = 0; z < p_.nz; ++z) {
+            for (unsigned y = y0; y < y0 + sy; ++y) {
+                for (unsigned x = x0; x < x0 + sx; ++x) {
+                    const bool edge = x == x0 || x == x0 + sx - 1 ||
+                                      y == y0 || y == y0 + sy - 1;
+                    (edge ? boundary_ : interior_)[proc].push_back(
+                        cellIndex(x, y, z));
+                }
+            }
+            // Ghost layer: the neighbors' cells facing this sub-block.
+            for (unsigned y = y0; y < y0 + sy; ++y) {
+                if (x0 > 0)
+                    ghosts_[proc].push_back(cellIndex(x0 - 1, y, z));
+                if (x0 + sx < p_.nx)
+                    ghosts_[proc].push_back(cellIndex(x0 + sx, y, z));
+            }
+            for (unsigned x = x0; x < x0 + sx; ++x) {
+                if (y0 > 0)
+                    ghosts_[proc].push_back(cellIndex(x, y0 - 1, z));
+                if (y0 + sy < p_.ny)
+                    ghosts_[proc].push_back(cellIndex(x, y0 + sy, z));
+            }
+        }
+    }
+}
+
+void
+AppBt::emitIteration(int iter, runtime::ProgramBuilder &builder)
+{
+    cosmos_assert(amap_, "setup() not called");
+    (void)iter;
+    const unsigned block = amap_->blockBytes();
+
+    for (NodeId proc = 0; proc < numProcs_; ++proc) {
+        auto prog = builder.proc(proc);
+
+        // Small per-processor skew so request arrival orders vary
+        // between iterations like real timing noise.
+        prog.think(1 + rng_->nextBelow(300));
+
+        // Producer sweep: read-modify-write own boundary cells, in a
+        // freshly shuffled order.
+        std::vector<unsigned> order = boundary_[proc];
+        rng_->shuffle(order);
+        for (unsigned c : order) {
+            const Addr a = gridBase_ + static_cast<Addr>(c) * block;
+            prog.read(a).write(a);
+        }
+
+        // A few interior (private) cells: silent after first touch.
+        for (unsigned i = 0;
+             i < p_.interiorTouches && i < interior_[proc].size();
+             ++i) {
+            const unsigned c =
+                interior_[proc][rng_->nextBelow(
+                    interior_[proc].size())];
+            const Addr a = gridBase_ + static_cast<Addr>(c) * block;
+            prog.read(a).write(a);
+        }
+
+        // False-shared residual updates, visited in a per-iteration
+        // random order so the directory sees oscillating
+        // upgrade/invalidate interleavings between block partners.
+        std::vector<unsigned> fs_order(falseShareBase_.size());
+        for (unsigned k = 0; k < fs_order.size(); ++k)
+            fs_order[k] = k;
+        for (unsigned round = 0; round < p_.falseShareRounds;
+             ++round) {
+            rng_->shuffle(fs_order);
+            for (unsigned k : fs_order) {
+                const Addr a = Allocator::stridedElem(
+                    falseShareBase_[k], proc, block / 2);
+                prog.read(a).write(a);
+            }
+        }
+    }
+
+    builder.barrier();
+
+    // Consumer sweep: read the neighbors' ghost layers; a consumer
+    // occasionally writes a ghost cell back (flux correction) and a
+    // boundary cell is occasionally read by one extra processor,
+    // both of which perturb the per-block signature like the noise
+    // the paper's Figure 6 arcs show.
+    for (NodeId proc = 0; proc < numProcs_; ++proc) {
+        auto prog = builder.proc(proc);
+        prog.think(1 + rng_->nextBelow(300));
+        std::vector<unsigned> order = ghosts_[proc];
+        rng_->shuffle(order);
+        for (unsigned c : order) {
+            const Addr a = gridBase_ + static_cast<Addr>(c) * block;
+            prog.read(a);
+            if (rng_->nextBool(p_.consumerWriteProb))
+                prog.write(a);
+        }
+        if (!boundary_.empty()) {
+            // Extra reader: peek at a random other processor's
+            // boundary cells.
+            const NodeId other = static_cast<NodeId>(
+                rng_->nextBelow(numProcs_));
+            if (other != proc) {
+                for (unsigned c : boundary_[other]) {
+                    if (rng_->nextBool(p_.extraReaderProb))
+                        prog.read(gridBase_ +
+                                  static_cast<Addr>(c) * block);
+                }
+            }
+        }
+    }
+
+    emitSparseTouches(builder, *rng_, sparseBase_, p_.sparseBlocks,
+                      p_.sparseTouchesPerIter, numProcs_, block);
+    builder.barrier();
+}
+
+std::string
+AppBt::statsSummary() const
+{
+    std::size_t boundary = 0, ghosts = 0;
+    for (NodeId proc = 0; proc < numProcs_; ++proc) {
+        boundary += boundary_[proc].size();
+        ghosts += ghosts_[proc].size();
+    }
+    std::ostringstream os;
+    os << "grid=" << p_.nx << "x" << p_.ny << "x" << p_.nz
+       << " boundary_cells=" << boundary << " ghost_reads=" << ghosts
+       << " consumers_per_cell~1";
+    return os.str();
+}
+
+} // namespace cosmos::wl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * appbt: miniature NAS APPBT kernel (Table 4).
+ *
+ * A 3-D grid of cells is partitioned into PX x PY columns of
+ * sub-blocks, one per processor. Each iteration every processor
+ * updates its own cells -- reading then writing each boundary cell
+ * (the producer's read-before-write is what makes the half-migratory
+ * optimization *hurt* appbt, §6.1) -- and then reads the ghost layer
+ * owned by its neighbors (the consumers). Two small per-processor
+ * arrays are deliberately laid out two-elements-per-block to
+ * reproduce the false sharing the paper blames for the low-accuracy
+ * upgrade_request -> inval_ro_response arc at the directory
+ * (Figure 6).
+ */
+
+#ifndef COSMOS_WORKLOADS_APPBT_HH
+#define COSMOS_WORKLOADS_APPBT_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cosmos::wl
+{
+
+/** appbt sizing knobs. */
+struct AppBtParams
+{
+    unsigned nx = 16; ///< grid cells in x
+    unsigned ny = 16; ///< grid cells in y
+    unsigned nz = 2;  ///< grid cells in z
+    unsigned px = 4;  ///< processor grid in x
+    unsigned py = 4;  ///< processor grid in y
+    int iterations = 40;
+    int warmupIterations = 2;
+    /** Interior (private) cells touched per processor per iteration:
+     *  silent after first touch but keep the access stream honest. */
+    unsigned interiorTouches = 8;
+    /** Number of deliberately false-shared residual arrays. */
+    unsigned falseShareArrays = 4;
+    /** RMW rounds over the false-shared arrays per iteration. */
+    unsigned falseShareRounds = 2;
+    /** Probability a consumer also writes a ghost cell it read
+     *  (boundary flux correction), perturbing the block signature. */
+    double consumerWriteProb = 0.10;
+    /** Probability a boundary cell is read by a second, non-adjacent
+     *  processor in a given iteration (e.g., corner exchanges). */
+    double extraReaderProb = 0.05;
+    /** Rarely-touched shared blocks (Table 7's sub-one PHT/MHR
+     *  contributions come from such blocks). */
+    unsigned sparseBlocks = 2000;
+    unsigned sparseTouchesPerIter = 80;
+};
+
+/** The appbt kernel. */
+class AppBt : public Workload
+{
+  public:
+    explicit AppBt(const AppBtParams &params = {});
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+    std::string statsSummary() const override;
+
+  private:
+    unsigned cellIndex(unsigned x, unsigned y, unsigned z) const;
+    NodeId ownerOf(unsigned x, unsigned y) const;
+
+    AppBtParams p_;
+    Info info_;
+    std::unique_ptr<Allocator> alloc_;
+    std::unique_ptr<Rng> rng_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+
+    Addr gridBase_ = 0;
+    Addr sparseBase_ = 0;
+    std::vector<Addr> falseShareBase_;
+
+    /** Per proc: own boundary cell indices and ghost cell indices. */
+    std::vector<std::vector<unsigned>> boundary_;
+    std::vector<std::vector<unsigned>> ghosts_;
+    std::vector<std::vector<unsigned>> interior_;
+};
+
+} // namespace cosmos::wl
+
+#endif // COSMOS_WORKLOADS_APPBT_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * barnes: miniature SPLASH-2 Barnes-Hut N-body kernel (Table 4).
+ *
+ * Bodies move under real (softened, theta-approximated) gravity; the
+ * octree is rebuilt from scratch every iteration with bodies inserted
+ * in Morton order of their *current* positions and partitioned
+ * costzones-style (contiguous Morton ranges per processor). Octree
+ * cells are allocated from a sequential pool in creation order, so as
+ * bodies move, a given pool address hosts a *different* logical tree
+ * node from one iteration to the next -- the address reassignment the
+ * paper identifies as the reason for barnes' comparatively low
+ * prediction accuracy (§6.1).
+ */
+
+#ifndef COSMOS_WORKLOADS_BARNES_HH
+#define COSMOS_WORKLOADS_BARNES_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cosmos::wl
+{
+
+/** barnes sizing knobs. */
+struct BarnesParams
+{
+    unsigned nbodies = 128;
+    double theta = 0.25;  ///< opening criterion
+    double dt = 0.005;    ///< integration step
+    double softening = 0.05;
+    int iterations = 25;
+    int warmupIterations = 2;
+    unsigned maxDepth = 12;
+    unsigned cellPoolBlocks = 4096;
+};
+
+/** The barnes kernel. */
+class Barnes : public Workload
+{
+  public:
+    explicit Barnes(const BarnesParams &params = {});
+    ~Barnes() override;
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+    std::string statsSummary() const override;
+
+  private:
+    struct Body
+    {
+        std::array<double, 3> pos{};
+        std::array<double, 3> vel{};
+        std::array<double, 3> force{};
+        double mass = 1.0;
+        NodeId owner = 0;
+    };
+
+    struct Cell
+    {
+        std::array<double, 3> center{};
+        double half = 0.5; ///< half edge length
+        std::array<double, 3> com{};
+        double mass = 0.0;
+        std::array<int, 8> child{};
+        std::vector<unsigned> bodies; ///< non-empty only at leaves
+        bool leaf = true;
+        NodeId owner = 0;
+        unsigned depth = 0;
+        unsigned slot = 0; ///< pool block index of this cell
+    };
+
+    void rebuildTree();
+    void insertBody(int cell, unsigned body);
+    int newCell(const std::array<double, 3> &center, double half,
+                unsigned depth, NodeId owner);
+    /** Pool slot for a cell: stable for unchanged tree regions,
+     *  newly assigned when subtrees move (partial address churn). */
+    unsigned slotFor(const std::array<double, 3> &center,
+                     unsigned depth);
+    void computeMass(int cell);
+    void traverse(unsigned body, std::vector<int> &cells_used,
+                  std::vector<unsigned> &bodies_used);
+    std::uint64_t mortonKey(const std::array<double, 3> &p) const;
+
+    BarnesParams p_;
+    Info info_;
+    std::unique_ptr<Rng> rng_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+
+    std::vector<Body> bodies_;
+    std::vector<Cell> cells_;
+    /** Persistent (spatial key -> pool slot) map across rebuilds. */
+    std::unordered_map<std::uint64_t, unsigned> cellSlots_;
+    unsigned nextSlot_ = 0;
+
+    Addr bodyBase_ = 0;
+    Addr cellPoolBase_ = 0;
+
+    // Rolling stats for statsSummary().
+    double meanCells_ = 0.0;
+    double meanVisits_ = 0.0;
+    int iterationsRun_ = 0;
+};
+
+} // namespace cosmos::wl
+
+#endif // COSMOS_WORKLOADS_BARNES_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * dsmc: miniature discrete-simulation Monte Carlo kernel (Table 4).
+ *
+ * Particles live in a Cartesian grid of cells partitioned into
+ * per-processor tiles. Each iteration particles move; a particle that
+ * crosses into another processor's tile is communicated through a
+ * per-(source, destination) shared buffer: the producer *writes* the
+ * buffer blocks without reading them first (which is why the
+ * half-migratory optimization helps dsmc, §6.1) and the consumer
+ * reads each block and then writes it to mark it consumed -- yielding
+ * exactly the Table 8 transitions at cache and directory.
+ *
+ * Particle velocities relax slowly toward a global drift field, so
+ * which buffers (and how many blocks of each) are exercised keeps
+ * shifting for a long time before stabilizing: dsmc is the paper's
+ * slowest application to reach steady-state prediction accuracy
+ * (~300 iterations, §6.2 and Table 8). Overflow traffic beyond a
+ * pair buffer's capacity lands in a per-destination shared buffer
+ * that multiple producers compete for, reproducing the oscillating
+ * patterns the paper says need history or filters.
+ */
+
+#ifndef COSMOS_WORKLOADS_DSMC_HH
+#define COSMOS_WORKLOADS_DSMC_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cosmos::wl
+{
+
+/** dsmc sizing knobs. */
+struct DsmcParams
+{
+    unsigned cellsX = 16; ///< grid cells in x
+    unsigned cellsY = 16; ///< grid cells in y
+    unsigned procsX = 4;  ///< processor tiles in x
+    unsigned procsY = 4;  ///< processor tiles in y
+    unsigned particles = 1500;
+    /** Blocks per (src, dst) pair buffer. */
+    unsigned pairBufferBlocks = 4;
+    /** Particle records per buffer block. */
+    unsigned particlesPerBlock = 2;
+    /** Blocks per per-destination shared buffer. */
+    unsigned sharedBlocks = 4;
+    /** Fraction of migrant blocks routed through the destination's
+     *  shared buffer, where slot assignment follows producer arrival
+     *  order: unpredictable with one tuple of history, learnable
+     *  with more (the paper's §3.5 out-of-order mechanism). */
+    double sharedFraction = 0.45;
+    /** Per-iteration velocity relaxation toward the drift field;
+     *  1/rate iterations is the flow's time constant. */
+    double relaxRate = 0.01;
+    double thermalNoise = 0.5;
+    std::array<double, 2> drift = {0.55, 0.18};
+    int iterations = 600;
+    int warmupIterations = 2;
+    /** Rarely-touched field-statistics blocks. */
+    unsigned sparseBlocks = 2500;
+    unsigned sparseTouchesPerIter = 50;
+};
+
+/** The dsmc kernel. */
+class Dsmc : public Workload
+{
+  public:
+    explicit Dsmc(const DsmcParams &params = {});
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+    std::string statsSummary() const override;
+
+  private:
+    struct Particle
+    {
+        double x = 0.0, y = 0.0;
+        double vx = 0.0, vy = 0.0;
+    };
+
+    NodeId tileOf(double x, double y) const;
+    Addr pairBufferBlock(NodeId src, NodeId dst, unsigned blk) const;
+    Addr sharedBlock(NodeId dst, unsigned blk) const;
+
+    DsmcParams p_;
+    Info info_;
+    std::unique_ptr<Rng> rng_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+
+    std::vector<Particle> particles_;
+    Addr cellBase_ = 0;
+    Addr pairBase_ = 0;
+    Addr sharedBase_ = 0;
+    Addr sparseBase_ = 0;
+
+    /** Smoothed migrant counts per (src, dst): buffer provisioning
+     *  follows average flow, so the set of exercised blocks shifts
+     *  while the flow develops and freezes once it stabilizes. */
+    std::vector<double> emaMigrants_;
+
+    std::uint64_t totalMigrants_ = 0;
+    std::uint64_t totalShared_ = 0;
+    int iterationsRun_ = 0;
+};
+
+} // namespace cosmos::wl
+
+#endif // COSMOS_WORKLOADS_DSMC_HH

@@ -1,0 +1,202 @@
+#include "workloads/micro.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::wl
+{
+
+// --- ProducerConsumerMicro --------------------------------------------
+
+ProducerConsumerMicro::ProducerConsumerMicro(
+    const ProducerConsumerParams &params)
+    : p_(params)
+{
+    info_.name = "micro_producer_consumer";
+    info_.description = "one producer, N consumers";
+    info_.iterations = p_.iterations;
+    info_.warmupIterations = p_.warmupIterations;
+}
+
+void
+ProducerConsumerMicro::setup(const AddrMap &amap, NodeId num_procs,
+                             std::uint64_t seed)
+{
+    (void)seed;
+    cosmos_assert(num_procs >= p_.consumers + 1,
+                  "need producer + ", p_.consumers, " consumers");
+    amap_ = &amap;
+    numProcs_ = num_procs;
+    Allocator alloc(amap);
+    // Home the shared region at the last node so the producer's and
+    // consumers' coherence traffic is remote (and observable).
+    alloc.allocate(
+        static_cast<std::size_t>(num_procs - 1) * amap.pageBytes(),
+        "padding");
+    base_ = alloc.allocate(
+        static_cast<std::size_t>(p_.blocks) * amap.blockBytes(),
+        "shared");
+}
+
+void
+ProducerConsumerMicro::emitIteration(int iter,
+                                     runtime::ProgramBuilder &builder)
+{
+    (void)iter;
+    const unsigned block = amap_->blockBytes();
+    auto producer = builder.proc(0);
+    for (unsigned b = 0; b < p_.blocks; ++b) {
+        const Addr a = base_ + static_cast<Addr>(b) * block;
+        if (p_.producerReadsFirst)
+            producer.read(a);
+        producer.write(a);
+    }
+    builder.barrier();
+    for (unsigned c = 1; c <= p_.consumers; ++c) {
+        auto consumer = builder.proc(static_cast<NodeId>(c));
+        for (unsigned b = 0; b < p_.blocks; ++b)
+            consumer.read(base_ + static_cast<Addr>(b) * block);
+    }
+    builder.barrier();
+}
+
+// --- MigratoryMicro ----------------------------------------------------
+
+MigratoryMicro::MigratoryMicro(const MigratoryParams &params) : p_(params)
+{
+    info_.name = "micro_migratory";
+    info_.description = "blocks rotate through processors under locks";
+    info_.iterations = p_.iterations;
+    info_.warmupIterations = p_.warmupIterations;
+}
+
+void
+MigratoryMicro::setup(const AddrMap &amap, NodeId num_procs,
+                      std::uint64_t seed)
+{
+    (void)seed;
+    cosmos_assert(num_procs >= p_.rotation, "need ", p_.rotation,
+                  " processors");
+    amap_ = &amap;
+    numProcs_ = num_procs;
+    Allocator alloc(amap);
+    // Home the shared region at the last node so every participant's
+    // coherence traffic is remote (and observable).
+    alloc.allocate(
+        static_cast<std::size_t>(num_procs - 1) * amap.pageBytes(),
+        "padding");
+    base_ = alloc.allocate(
+        static_cast<std::size_t>(p_.blocks) * amap.blockBytes(),
+        "migratory");
+}
+
+void
+MigratoryMicro::emitIteration(int iter, runtime::ProgramBuilder &builder)
+{
+    (void)iter;
+    const unsigned block = amap_->blockBytes();
+    // A deterministic rotation in fixed order every iteration,
+    // serialized by barriers so the hand-off order is exact: the
+    // global per-block sender sequence is a pure cycle that a
+    // depth-1 predictor can learn completely.
+    for (unsigned step = 0; step < p_.rotation; ++step) {
+        const NodeId proc = static_cast<NodeId>(step % p_.rotation);
+        auto prog = builder.proc(proc);
+        for (unsigned b = 0; b < p_.blocks; ++b) {
+            const Addr a = base_ + static_cast<Addr>(b) * block;
+            const LockId l = static_cast<LockId>(b);
+            prog.lockAcq(l);
+            prog.read(a).write(a);
+            prog.unlock(l);
+        }
+        builder.barrier();
+    }
+}
+
+// --- RmwMicro ------------------------------------------------------------
+
+RmwMicro::RmwMicro(const RmwParams &params) : p_(params)
+{
+    info_.name = "micro_rmw";
+    info_.description = "read-modify-write from an alternating pair";
+    info_.iterations = p_.iterations;
+    info_.warmupIterations = p_.warmupIterations;
+}
+
+void
+RmwMicro::setup(const AddrMap &amap, NodeId num_procs,
+                std::uint64_t seed)
+{
+    (void)seed;
+    cosmos_assert(num_procs >= 2, "need at least two processors");
+    amap_ = &amap;
+    numProcs_ = num_procs;
+    Allocator alloc(amap);
+    base_ = alloc.allocate(
+        static_cast<std::size_t>(p_.blocks) * amap.blockBytes(), "rmw");
+}
+
+void
+RmwMicro::emitIteration(int iter, runtime::ProgramBuilder &builder)
+{
+    const unsigned block = amap_->blockBytes();
+    // Two processors alternate; each does read -> write, so the
+    // directory repeatedly sees get_ro_request then upgrade_request
+    // from the same node.
+    const NodeId proc = static_cast<NodeId>(iter % 2);
+    auto prog = builder.proc(proc);
+    for (unsigned b = 0; b < p_.blocks; ++b) {
+        const Addr a = base_ + static_cast<Addr>(b) * block;
+        prog.read(a).write(a);
+    }
+    builder.barrier();
+}
+
+// --- FalseSharingMicro -----------------------------------------------------
+
+FalseSharingMicro::FalseSharingMicro(const FalseSharingParams &params)
+    : p_(params)
+{
+    info_.name = "micro_false_sharing";
+    info_.description = "two processors RMW halves of each block";
+    info_.iterations = p_.iterations;
+    info_.warmupIterations = p_.warmupIterations;
+}
+
+void
+FalseSharingMicro::setup(const AddrMap &amap, NodeId num_procs,
+                         std::uint64_t seed)
+{
+    cosmos_assert(num_procs >= 2, "need at least two processors");
+    amap_ = &amap;
+    numProcs_ = num_procs;
+    rng_ = std::make_unique<Rng>(seed ^ 0xfa15e5ULL);
+    Allocator alloc(amap);
+    // Home the shared region at the last node so every participant's
+    // coherence traffic is remote (and observable).
+    alloc.allocate(
+        static_cast<std::size_t>(num_procs - 1) * amap.pageBytes(),
+        "padding");
+    base_ = alloc.allocate(
+        static_cast<std::size_t>(p_.blocks) * amap.blockBytes(),
+        "false_shared");
+}
+
+void
+FalseSharingMicro::emitIteration(int iter,
+                                 runtime::ProgramBuilder &builder)
+{
+    (void)iter;
+    const unsigned block = amap_->blockBytes();
+    for (NodeId proc = 0; proc < 2; ++proc) {
+        auto prog = builder.proc(proc);
+        prog.think(1 + rng_->nextBelow(500));
+        for (unsigned b = 0; b < p_.blocks; ++b) {
+            const Addr a = base_ + static_cast<Addr>(b) * block +
+                           proc * (block / 2);
+            prog.read(a).write(a);
+        }
+    }
+    builder.barrier();
+}
+
+} // namespace cosmos::wl

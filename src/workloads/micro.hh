@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Parameterized micro-workloads exercising the canonical sharing
+ * patterns of the paper in isolation: producer-consumer (§3.1,
+ * Figure 2), migratory (Figure 8b), read-modify-write, and false
+ * sharing. Tests use them to pin down exact message signatures;
+ * the Figure 8 bench uses them to show directed predictors and
+ * Cosmos capturing the same triggers.
+ */
+
+#ifndef COSMOS_WORKLOADS_MICRO_HH
+#define COSMOS_WORKLOADS_MICRO_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cosmos::wl
+{
+
+/** Producer-consumer: one producer writes, N consumers read. */
+struct ProducerConsumerParams
+{
+    unsigned blocks = 8;
+    unsigned consumers = 1;
+    /** Producer reads before writing (appbt-style) or writes blind
+     *  (dsmc-style; half-migratory helps). */
+    bool producerReadsFirst = true;
+    int iterations = 30;
+    int warmupIterations = 1;
+};
+
+class ProducerConsumerMicro : public Workload
+{
+  public:
+    explicit ProducerConsumerMicro(
+        const ProducerConsumerParams &params = {});
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+
+  private:
+    ProducerConsumerParams p_;
+    Info info_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+    Addr base_ = 0;
+};
+
+/** Migratory: blocks visit processors in rotation, RMW under lock. */
+struct MigratoryParams
+{
+    unsigned blocks = 8;
+    unsigned rotation = 4; ///< number of processors in the rotation
+    int iterations = 30;
+    int warmupIterations = 1;
+};
+
+class MigratoryMicro : public Workload
+{
+  public:
+    explicit MigratoryMicro(const MigratoryParams &params = {});
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+
+  private:
+    MigratoryParams p_;
+    Info info_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+    Addr base_ = 0;
+};
+
+/**
+ * Read-modify-write: a single remote processor reads then immediately
+ * upgrades the same blocks every iteration -- the trigger signature
+ * of the reply-exclusive directed optimization (§4.1).
+ */
+struct RmwParams
+{
+    unsigned blocks = 8;
+    int iterations = 30;
+    int warmupIterations = 1;
+};
+
+class RmwMicro : public Workload
+{
+  public:
+    explicit RmwMicro(const RmwParams &params = {});
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+
+  private:
+    RmwParams p_;
+    Info info_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+    Addr base_ = 0;
+};
+
+/** False sharing: two processors RMW disjoint halves of each block. */
+struct FalseSharingParams
+{
+    unsigned blocks = 8;
+    int iterations = 30;
+    int warmupIterations = 1;
+};
+
+class FalseSharingMicro : public Workload
+{
+  public:
+    explicit FalseSharingMicro(const FalseSharingParams &params = {});
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+
+  private:
+    FalseSharingParams p_;
+    Info info_;
+    std::unique_ptr<Rng> rng_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+    Addr base_ = 0;
+};
+
+} // namespace cosmos::wl
+
+#endif // COSMOS_WORKLOADS_MICRO_HH

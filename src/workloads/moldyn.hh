@@ -1,0 +1,95 @@
+/**
+ * @file
+ * moldyn: miniature CHARMM-style molecular dynamics kernel (Table 4).
+ *
+ * Molecules sit in a periodic box, owned by the processor of their
+ * initial spatial tile. An interaction list of molecule pairs within
+ * a cut-off radius is rebuilt every `rebuildEvery` iterations. Each
+ * iteration:
+ *
+ *  1. every processor reads the coordinates of its remote interaction
+ *     partners (producer-consumer; the paper measures ~4.9 consumers
+ *     per coordinates block),
+ *  2. every processor adds its private force contributions to the
+ *     shared force array inside per-molecule critical sections
+ *     (migratory sharing -- the paper's
+ *     <get_ro_response, upgrade_response, inval_rw_response> cache
+ *     signature), and
+ *  3. owners integrate: read then write their own coordinates, which
+ *     produces the same producer signature as appbt's.
+ */
+
+#ifndef COSMOS_WORKLOADS_MOLDYN_HH
+#define COSMOS_WORKLOADS_MOLDYN_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cosmos::wl
+{
+
+/** moldyn sizing knobs. */
+struct MoldynParams
+{
+    unsigned molecules = 400;
+    double cutoff = 0.16;    ///< interaction radius (unit box)
+    double dt = 0.004;
+    double temperature = 0.15; ///< Maxwellian velocity scale
+    unsigned rebuildEvery = 10;
+    unsigned tilesX = 4; ///< ownership tiles
+    unsigned tilesY = 4;
+    int iterations = 40;
+    int warmupIterations = 2;
+    /** Rarely-touched shared blocks (e.g., per-molecule metadata). */
+    unsigned sparseBlocks = 14000;
+    unsigned sparseTouchesPerIter = 560;
+};
+
+/** The moldyn kernel. */
+class Moldyn : public Workload
+{
+  public:
+    explicit Moldyn(const MoldynParams &params = {});
+
+    const Info &info() const override { return info_; }
+    void setup(const AddrMap &amap, NodeId num_procs,
+               std::uint64_t seed) override;
+    void emitIteration(int iter,
+                       runtime::ProgramBuilder &builder) override;
+    std::string statsSummary() const override;
+
+    /** Measured mean consumers per coordinates block (paper: 4.9). */
+    double meanConsumers() const;
+
+  private:
+    struct Molecule
+    {
+        double x = 0.0, y = 0.0;
+        double vx = 0.0, vy = 0.0;
+        double fx = 0.0, fy = 0.0;
+        NodeId owner = 0;
+    };
+
+    void rebuildPairs();
+
+    MoldynParams p_;
+    Info info_;
+    std::unique_ptr<Rng> rng_;
+    const AddrMap *amap_ = nullptr;
+    NodeId numProcs_ = 0;
+
+    std::vector<Molecule> mol_;
+    std::vector<std::pair<unsigned, unsigned>> pairs_;
+    Addr coordBase_ = 0;
+    Addr forceBase_ = 0;
+    Addr sparseBase_ = 0;
+
+    double consumerSamples_ = 0.0;
+    double consumerTotal_ = 0.0;
+};
+
+} // namespace cosmos::wl
+
+#endif // COSMOS_WORKLOADS_MOLDYN_HH

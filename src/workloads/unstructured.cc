@@ -1,0 +1,260 @@
+#include "workloads/unstructured.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cosmos::wl
+{
+
+Unstructured::Unstructured(const UnstructuredParams &params) : p_(params)
+{
+    info_.name = "unstructured";
+    info_.description =
+        "unstructured-mesh solver; migratory and producer-consumer "
+        "phases over the same blocks";
+    info_.iterations = p_.iterations;
+    info_.warmupIterations = p_.warmupIterations;
+}
+
+void
+Unstructured::buildMesh()
+{
+    px_.resize(p_.meshNodes);
+    py_.resize(p_.meshNodes);
+    for (unsigned i = 0; i < p_.meshNodes; ++i) {
+        px_[i] = rng_->nextDouble();
+        py_[i] = rng_->nextDouble();
+    }
+
+    // k-nearest-neighbour edges, deduplicated.
+    std::set<std::pair<unsigned, unsigned>> edge_set;
+    for (unsigned i = 0; i < p_.meshNodes; ++i) {
+        std::vector<std::pair<double, unsigned>> dist;
+        dist.reserve(p_.meshNodes - 1);
+        for (unsigned j = 0; j < p_.meshNodes; ++j) {
+            if (i == j)
+                continue;
+            const double dx = px_[i] - px_[j];
+            const double dy = py_[i] - py_[j];
+            dist.emplace_back(dx * dx + dy * dy, j);
+        }
+        std::partial_sort(dist.begin(),
+                          dist.begin() + p_.neighborsPerNode,
+                          dist.end());
+        for (unsigned k = 0; k < p_.neighborsPerNode; ++k) {
+            const unsigned j = dist[k].second;
+            edge_set.emplace(std::min(i, j), std::max(i, j));
+        }
+    }
+    edges_.assign(edge_set.begin(), edge_set.end());
+}
+
+void
+Unstructured::partition()
+{
+    // Recursive coordinate bisection: split the index set by median
+    // along the wider axis until one part per processor.
+    owner_.assign(p_.meshNodes, 0);
+    struct Part
+    {
+        std::vector<unsigned> nodes;
+        NodeId firstProc;
+        NodeId numProcs;
+    };
+    std::vector<Part> work;
+    {
+        std::vector<unsigned> all(p_.meshNodes);
+        std::iota(all.begin(), all.end(), 0u);
+        work.push_back({std::move(all), 0, numProcs_});
+    }
+    while (!work.empty()) {
+        Part part = std::move(work.back());
+        work.pop_back();
+        if (part.numProcs == 1) {
+            for (unsigned n : part.nodes)
+                owner_[n] = part.firstProc;
+            continue;
+        }
+        double minx = 1.0, maxx = 0.0, miny = 1.0, maxy = 0.0;
+        for (unsigned n : part.nodes) {
+            minx = std::min(minx, px_[n]);
+            maxx = std::max(maxx, px_[n]);
+            miny = std::min(miny, py_[n]);
+            maxy = std::max(maxy, py_[n]);
+        }
+        const bool split_x = (maxx - minx) >= (maxy - miny);
+        std::sort(part.nodes.begin(), part.nodes.end(),
+                  [&](unsigned a, unsigned b) {
+                      return split_x ? px_[a] < px_[b]
+                                     : py_[a] < py_[b];
+                  });
+        const NodeId left_procs = part.numProcs / 2;
+        const std::size_t cut = part.nodes.size() * left_procs /
+                                part.numProcs;
+        Part left{{part.nodes.begin(),
+                   part.nodes.begin() + static_cast<long>(cut)},
+                  part.firstProc, left_procs};
+        Part right{{part.nodes.begin() + static_cast<long>(cut),
+                    part.nodes.end()},
+                   static_cast<NodeId>(part.firstProc + left_procs),
+                   static_cast<NodeId>(part.numProcs - left_procs)};
+        work.push_back(std::move(left));
+        work.push_back(std::move(right));
+    }
+}
+
+void
+Unstructured::setup(const AddrMap &amap, NodeId num_procs,
+                    std::uint64_t seed)
+{
+    amap_ = &amap;
+    numProcs_ = num_procs;
+    rng_ = std::make_unique<Rng>(seed ^ 0x0257a0c7ULL);
+
+    buildMesh();
+    partition();
+
+    Allocator alloc(amap);
+    nodeBase_ = alloc.allocate(
+        static_cast<std::size_t>(p_.meshNodes) * amap.blockBytes(),
+        "node_values");
+    sparseBase_ = alloc.allocate(
+        static_cast<std::size_t>(p_.sparseBlocks) * amap.blockBytes(),
+        "face_metadata");
+
+    // Classify edges and boundary nodes.
+    crossEdges_.clear();
+    std::vector<std::set<NodeId>> readers(p_.meshNodes);
+    std::vector<std::set<unsigned>> boundary_set(numProcs_);
+    std::vector<std::set<unsigned>> remote_set(numProcs_);
+    for (const auto &[u, v] : edges_) {
+        if (owner_[u] == owner_[v])
+            continue;
+        crossEdges_.emplace_back(u, v);
+        readers[u].insert(owner_[v]);
+        readers[v].insert(owner_[u]);
+        boundary_set[owner_[u]].insert(u);
+        boundary_set[owner_[v]].insert(v);
+        remote_set[owner_[u]].insert(v);
+        remote_set[owner_[v]].insert(u);
+    }
+    boundaryNodes_.assign(numProcs_, {});
+    remoteReads_.assign(numProcs_, {});
+    for (NodeId proc = 0; proc < numProcs_; ++proc) {
+        boundaryNodes_[proc].assign(boundary_set[proc].begin(),
+                                    boundary_set[proc].end());
+        remoteReads_[proc].assign(remote_set[proc].begin(),
+                                  remote_set[proc].end());
+    }
+
+    double total = 0.0, samples = 0.0;
+    for (unsigned n = 0; n < p_.meshNodes; ++n) {
+        if (!readers[n].empty()) {
+            total += static_cast<double>(readers[n].size());
+            samples += 1.0;
+        }
+    }
+    meanConsumers_ = samples == 0.0 ? 0.0 : total / samples;
+}
+
+void
+Unstructured::emitIteration(int iter, runtime::ProgramBuilder &builder)
+{
+    cosmos_assert(amap_, "setup() not called");
+    (void)iter;
+    const unsigned block = amap_->blockBytes();
+    auto node_addr = [&](unsigned n) {
+        return nodeBase_ + static_cast<Addr>(n) * block;
+    };
+
+    // --- Phase A: edge loop. The owner of the lower endpoint updates
+    // both endpoint values inside critical sections (migratory).
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> edges_by(
+        numProcs_);
+    for (const auto &e : crossEdges_)
+        edges_by[owner_[e.first]].push_back(e);
+    // Both endpoint owners walk the cross edges ("each processor
+    // updates both node values", §6.1), giving every boundary block
+    // several migratory visitors per iteration whose order depends
+    // on lock hand-off timing.
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> edges_rev(
+        numProcs_);
+    for (const auto &e : crossEdges_)
+        edges_rev[owner_[e.second]].push_back(e);
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        const auto &assignment = sweep == 0 ? edges_by : edges_rev;
+        for (NodeId proc = 0; proc < numProcs_; ++proc) {
+            auto prog = builder.proc(proc);
+            prog.think(1 + rng_->nextBelow(400));
+            auto order = assignment[proc];
+            rng_->shuffle(order);
+            for (const auto &[u, v] : order) {
+                if (!rng_->nextBool(p_.edgeActiveProb))
+                    continue;
+                prog.lockAcq(u);
+                prog.read(node_addr(u)).write(node_addr(u));
+                prog.unlock(u);
+                prog.lockAcq(v);
+                prog.read(node_addr(v)).write(node_addr(v));
+                prog.unlock(v);
+            }
+        }
+        builder.barrier();
+    }
+
+    // --- Phase B: node loop. Owners recompute boundary nodes
+    // (read-modify-write: the producer consumes its own data), then
+    // read remote neighbours.
+    for (NodeId proc = 0; proc < numProcs_; ++proc) {
+        auto prog = builder.proc(proc);
+        prog.think(1 + rng_->nextBelow(400));
+        auto order = boundaryNodes_[proc];
+        rng_->shuffle(order);
+        for (unsigned n : order)
+            prog.read(node_addr(n)).write(node_addr(n));
+    }
+    builder.barrier();
+    for (NodeId proc = 0; proc < numProcs_; ++proc) {
+        auto prog = builder.proc(proc);
+        prog.think(1 + rng_->nextBelow(400));
+        auto order = remoteReads_[proc];
+        rng_->shuffle(order);
+        for (unsigned n : order)
+            prog.read(node_addr(n));
+    }
+    emitSparseTouches(builder, *rng_, sparseBase_, p_.sparseBlocks,
+                      p_.sparseTouchesPerIter, numProcs_, block);
+    builder.barrier();
+}
+
+double
+Unstructured::meanConsumers() const
+{
+    return meanConsumers_;
+}
+
+std::vector<std::size_t>
+Unstructured::partitionSizes() const
+{
+    std::vector<std::size_t> sizes(numProcs_, 0);
+    for (NodeId owner : owner_)
+        ++sizes[owner];
+    return sizes;
+}
+
+std::string
+Unstructured::statsSummary() const
+{
+    std::ostringstream os;
+    os << "mesh_nodes=" << p_.meshNodes << " edges=" << edges_.size()
+       << " cross_edges=" << crossEdges_.size()
+       << " mean_consumers_per_boundary_node=" << meanConsumers_;
+    return os.str();
+}
+
+} // namespace cosmos::wl

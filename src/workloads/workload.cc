@@ -1,0 +1,59 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "workloads/appbt.hh"
+#include "workloads/barnes.hh"
+#include "workloads/dsmc.hh"
+#include "workloads/micro.hh"
+#include "workloads/moldyn.hh"
+#include "workloads/unstructured.hh"
+
+namespace cosmos::wl
+{
+
+void
+emitSparseTouches(runtime::ProgramBuilder &builder, Rng &rng,
+                  Addr base, std::size_t region_blocks,
+                  std::size_t per_iter, NodeId num_procs,
+                  unsigned block_bytes)
+{
+    for (std::size_t k = 0; k < per_iter; ++k) {
+        const std::size_t blk = rng.nextBelow(region_blocks);
+        const NodeId proc =
+            static_cast<NodeId>(rng.nextBelow(num_procs));
+        builder.proc(proc).read(base +
+                                static_cast<Addr>(blk) * block_bytes);
+    }
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "appbt")
+        return std::make_unique<AppBt>();
+    if (name == "barnes")
+        return std::make_unique<Barnes>();
+    if (name == "dsmc")
+        return std::make_unique<Dsmc>();
+    if (name == "moldyn")
+        return std::make_unique<Moldyn>();
+    if (name == "unstructured")
+        return std::make_unique<Unstructured>();
+    if (name == "micro_producer_consumer")
+        return std::make_unique<ProducerConsumerMicro>();
+    if (name == "micro_migratory")
+        return std::make_unique<MigratoryMicro>();
+    if (name == "micro_rmw")
+        return std::make_unique<RmwMicro>();
+    if (name == "micro_false_sharing")
+        return std::make_unique<FalseSharingMicro>();
+    cosmos_fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+paperWorkloads()
+{
+    return {"appbt", "barnes", "dsmc", "moldyn", "unstructured"};
+}
+
+} // namespace cosmos::wl

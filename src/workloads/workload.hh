@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Workload kernel interface and registry.
+ *
+ * Each of the paper's five applications (Table 4) is implemented as a
+ * miniature kernel that performs its real computation on the host and
+ * emits, per iteration, the shared-memory access skeleton of that
+ * computation as per-processor programs. DESIGN.md §2 documents why
+ * this substitution preserves the sharing patterns the predictor
+ * sees.
+ */
+
+#ifndef COSMOS_WORKLOADS_WORKLOAD_HH
+#define COSMOS_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/addr.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "runtime/program.hh"
+#include "workloads/allocator.hh"
+
+namespace cosmos::wl
+{
+
+/** A workload kernel generating per-iteration access programs. */
+class Workload
+{
+  public:
+    struct Info
+    {
+        std::string name;
+        std::string description;
+        /** Default number of traced iterations. */
+        int iterations = 40;
+        /** Leading iterations excluded from traces (start-up, §5). */
+        int warmupIterations = 2;
+    };
+
+    virtual ~Workload() = default;
+
+    virtual const Info &info() const = 0;
+
+    /**
+     * Allocate shared data and initialize host state.
+     * Must be called exactly once before emitIteration().
+     */
+    virtual void setup(const AddrMap &amap, NodeId num_procs,
+                       std::uint64_t seed) = 0;
+
+    /**
+     * Advance the host computation one iteration and append this
+     * iteration's accesses to @p builder.
+     */
+    virtual void emitIteration(int iter,
+                               runtime::ProgramBuilder &builder) = 0;
+
+    /** Optional sharing-structure summary (consumer counts, etc.). */
+    virtual std::string statsSummary() const { return ""; }
+};
+
+/**
+ * Reorder @p items into one of a small set of fixed permutations.
+ *
+ * Applying the permutation selected by @p choice (deterministically
+ * derived from @p salt) models event orders that are ambiguous with
+ * one tuple of history -- several successors are possible after any
+ * element -- yet fully learnable with deeper history, because the
+ * same few interleavings recur (the paper's §3.5 mechanism).
+ */
+template <typename T>
+void
+choiceOrder(std::vector<T> &items, std::uint64_t salt, unsigned choice)
+{
+    Rng rng(salt * 0x9e3779b97f4a7c15ULL + choice + 1);
+    rng.shuffle(items);
+}
+
+/**
+ * Emit reads of rarely-touched shared blocks.
+ *
+ * Real applications expose large shared regions most of whose blocks
+ * are referenced only a handful of times (diagnostics, rarely-hit
+ * table entries). Such blocks earn Message History Registers but few
+ * Pattern History Tables -- the reason dsmc's PHT/MHR ratio in the
+ * paper's Table 7 sits *below one* and falls with depth. Each call
+ * reads @p per_iter randomly chosen blocks of the region from
+ * randomly chosen processors.
+ */
+void emitSparseTouches(runtime::ProgramBuilder &builder, Rng &rng,
+                       Addr base, std::size_t region_blocks,
+                       std::size_t per_iter, NodeId num_procs,
+                       unsigned block_bytes);
+
+/** Construct a registered workload by name; fatal on unknown name. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** Names of the five paper applications, in the paper's order. */
+std::vector<std::string> paperWorkloads();
+
+} // namespace cosmos::wl
+
+#endif // COSMOS_WORKLOADS_WORKLOAD_HH

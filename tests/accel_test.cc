@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests of the acceleration layer: the §4.4 speedup model
+ * (including the paper's worked example), the §4.1 prediction-to-
+ * action mapping with §4.3 recovery classes, and the trace-driven
+ * speculation evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/action_map.hh"
+#include "accel/speculation.hh"
+#include "accel/speedup_model.hh"
+#include "harness/experiment.hh"
+#include "workloads/micro.hh"
+
+namespace cosmos::accel
+{
+namespace
+{
+
+using proto::MsgType;
+using proto::Role;
+
+TEST(SpeedupModel, PaperWorkedExample)
+{
+    // §4.4: p = 0.8, r = 1, f = 0.3 -> "speedup can be as high as
+    // 56%".
+    EXPECT_NEAR(speedupPercent({0.8, 0.3, 1.0}), 56.25, 0.01);
+}
+
+TEST(SpeedupModel, PerfectPredictionFullOverlap)
+{
+    // p = 1, f = 0: messages vanish from the critical path.
+    EXPECT_NEAR(relativeTime({1.0, 0.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(SpeedupModel, NoPredictionBenefitIsNeutral)
+{
+    // f = 1 and p = 1: nothing gained, nothing lost.
+    EXPECT_NEAR(speedup({1.0, 1.0, 0.5}), 1.0, 1e-12);
+}
+
+TEST(SpeedupModel, ZeroAccuracyCostsThePenalty)
+{
+    // p = 0: every message pays (1 + r).
+    EXPECT_NEAR(relativeTime({0.0, 0.3, 0.5}), 1.5, 1e-12);
+    EXPECT_LT(speedupPercent({0.0, 0.3, 0.5}), 0.0);
+}
+
+TEST(SpeedupModel, MonotonicInEachParameter)
+{
+    // More accuracy helps; more residual delay hurts; more penalty
+    // hurts.
+    EXPECT_GT(speedup({0.9, 0.3, 0.5}), speedup({0.7, 0.3, 0.5}));
+    EXPECT_GT(speedup({0.8, 0.2, 0.5}), speedup({0.8, 0.4, 0.5}));
+    EXPECT_GT(speedup({0.8, 0.3, 0.25}), speedup({0.8, 0.3, 1.0}));
+}
+
+TEST(SpeedupModel, CurveHasRequestedShape)
+{
+    const auto curve = figure5Curve(0.8, 1.0, 11);
+    ASSERT_EQ(curve.size(), 11u);
+    EXPECT_DOUBLE_EQ(curve.front().f, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().f, 1.0);
+    // Monotonically decreasing in f.
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LT(curve[i].speedupPercent,
+                  curve[i - 1].speedupPercent);
+}
+
+TEST(ActionMap, ReadModifyWritePredictionRepliesExclusive)
+{
+    // §4.1's flagship example: read predicted to be followed by an
+    // upgrade from the same node.
+    const auto plan =
+        planAction(Role::directory, 0, MsgType::get_ro_request,
+                   {3, MsgType::upgrade_request});
+    EXPECT_EQ(plan.action, Action::reply_exclusive);
+    EXPECT_EQ(plan.recovery, Recovery::discard_future_state);
+}
+
+TEST(ActionMap, PredictedInvalidationSelfInvalidates)
+{
+    const auto plan =
+        planAction(Role::cache, 2, MsgType::get_rw_response,
+                   {0, MsgType::inval_rw_request});
+    EXPECT_EQ(plan.action, Action::self_invalidate);
+    // Replacing exclusive -> invalid moves between legal states.
+    EXPECT_EQ(plan.recovery, Recovery::none);
+}
+
+TEST(ActionMap, PredictedMissForwardsData)
+{
+    const auto plan =
+        planAction(Role::directory, 0, MsgType::inval_rw_response,
+                   {5, MsgType::get_ro_request});
+    EXPECT_EQ(plan.action, Action::forward_data);
+}
+
+TEST(ActionMap, PredictedResponsePrefetchesWithRollback)
+{
+    const auto plan =
+        planAction(Role::cache, 1, MsgType::inval_rw_request,
+                   {0, MsgType::get_ro_response});
+    EXPECT_EQ(plan.action, Action::prefetch);
+    EXPECT_EQ(plan.recovery, Recovery::checkpoint_rollback);
+}
+
+TEST(ActionMap, UpgradePredictionWithoutPriorReadDoesNothing)
+{
+    const auto plan =
+        planAction(Role::directory, 0, MsgType::inval_ro_response,
+                   {3, MsgType::upgrade_request});
+    EXPECT_EQ(plan.action, Action::none);
+}
+
+TEST(ActionMap, NamesAreStable)
+{
+    EXPECT_STREQ(toString(Action::reply_exclusive),
+                 "reply_exclusive");
+    EXPECT_STREQ(toString(Recovery::checkpoint_rollback),
+                 "checkpoint_rollback");
+}
+
+TEST(Speculation, NearPerfectPatternYieldsHighCoverageAndSpeedup)
+{
+    harness::RunConfig cfg;
+    wl::ProducerConsumerParams params;
+    params.blocks = 8;
+    params.iterations = 40;
+    wl::ProducerConsumerMicro workload(params);
+    auto result = harness::runWorkload(cfg, workload);
+
+    const auto rep =
+        evaluateSpeculation(result.trace, pred::CosmosConfig{1, 0});
+    EXPECT_GT(rep.references, 100u);
+    EXPECT_GT(rep.actionAccuracy(), 0.9);
+    EXPECT_GT(rep.coverage(), 0.5);
+    EXPECT_GT(rep.estimatedSpeedupPercent(0.3, 0.5), 10.0);
+    // Model sanity: zero residual delay beats partial overlap.
+    EXPECT_GT(rep.estimatedSpeedupPercent(0.0, 0.5),
+              rep.estimatedSpeedupPercent(0.5, 0.5));
+}
+
+TEST(Speculation, ReportsRecoveryBreakdown)
+{
+    harness::RunConfig cfg;
+    wl::MigratoryParams params;
+    params.iterations = 30;
+    wl::MigratoryMicro workload(params);
+    auto result = harness::runWorkload(cfg, workload);
+
+    const auto rep =
+        evaluateSpeculation(result.trace, pred::CosmosConfig{2, 0});
+    EXPECT_EQ(rep.recovery.none + rep.recovery.discardFutureState +
+                  rep.recovery.checkpointRollback,
+              rep.actioned);
+    EXPECT_FALSE(rep.format().empty());
+}
+
+TEST(SpeculationModel, EmptyReportIsNeutral)
+{
+    SpeculationReport rep;
+    EXPECT_DOUBLE_EQ(rep.coverage(), 0.0);
+    EXPECT_DOUBLE_EQ(rep.actionAccuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(rep.estimatedSpeedupPercent(0.3, 0.5), 0.0);
+}
+
+} // namespace
+} // namespace cosmos::accel

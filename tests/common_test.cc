@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests of the common substrate: address arithmetic, RNG
+ * determinism and distribution sanity, statistics, table rendering,
+ * and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/addr.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace cosmos
+{
+namespace
+{
+
+TEST(AddrMap, BlockAndPageDecomposition)
+{
+    AddrMap amap(64, 4096, 16);
+    EXPECT_EQ(amap.blockBase(0), 0u);
+    EXPECT_EQ(amap.blockBase(63), 0u);
+    EXPECT_EQ(amap.blockBase(64), 64u);
+    EXPECT_EQ(amap.blockIndex(128), 2u);
+    EXPECT_EQ(amap.pageBase(4095), 0u);
+    EXPECT_EQ(amap.pageBase(4096), 4096u);
+    EXPECT_EQ(amap.pageIndex(8192), 2u);
+    EXPECT_EQ(amap.blocksPerPage(), 64u);
+}
+
+TEST(AddrMap, RoundRobinHomes)
+{
+    // §5.1: page X on node X mod N, page X+1 on node X+1 mod N.
+    AddrMap amap(64, 4096, 16);
+    for (std::uint64_t page = 0; page < 64; ++page) {
+        EXPECT_EQ(amap.home(page * 4096),
+                  static_cast<NodeId>(page % 16));
+        EXPECT_EQ(amap.home(page * 4096 + 4095),
+                  static_cast<NodeId>(page % 16));
+    }
+}
+
+TEST(AddrMap, NonPowerOfTwoIsFatal)
+{
+    EXPECT_EXIT(AddrMap(48, 4096, 16),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(AddrMap(64, 100, 16), ::testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(AddrMap(128, 64, 16), ::testing::ExitedWithCode(1),
+                ">= block size");
+}
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    std::vector<int> buckets(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.nextBelow(8)];
+    for (int count : buckets) {
+        EXPECT_GT(count, n / 8 * 0.9);
+        EXPECT_LT(count, n / 8 * 1.1);
+    }
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextRange(-2, 2));
+    EXPECT_EQ(seen.size(), 5u);
+    EXPECT_EQ(*seen.begin(), -2);
+    EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(13);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(99);
+    Rng child = a.fork();
+    // The child must not replay the parent's stream.
+    Rng b(99);
+    b.next(); // advance past the fork draw
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (child.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Stats, HitRatioBasics)
+{
+    HitRatio r;
+    EXPECT_DOUBLE_EQ(r.percent(), 0.0);
+    r.record(true);
+    r.record(true);
+    r.record(false);
+    EXPECT_EQ(r.hits, 2u);
+    EXPECT_EQ(r.total, 3u);
+    EXPECT_NEAR(r.percent(), 66.67, 0.01);
+
+    HitRatio other;
+    other.record(false);
+    r.merge(other);
+    EXPECT_EQ(r.total, 4u);
+    EXPECT_NEAR(r.fraction(), 0.5, 1e-9);
+}
+
+TEST(Stats, DistributionTracksMinMaxMean)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
+TEST(Stats, CounterSet)
+{
+    CounterSet c;
+    c.add("misses");
+    c.add("misses", 4);
+    EXPECT_EQ(c.get("misses"), 5u);
+    EXPECT_EQ(c.get("absent"), 0u);
+    EXPECT_NE(c.format().find("misses = 5"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t("Title");
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"xxxxx", "y"});
+    t.addSeparator();
+    t.addRow({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("xxxxx"), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    // Column width adapts to the widest cell.
+    EXPECT_NE(out.find("a      bbbb"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(Config, DefaultsMatchPaperTable3)
+{
+    MachineConfig cfg;
+    EXPECT_EQ(cfg.numNodes, 16);
+    EXPECT_EQ(cfg.blockBytes, 64u);
+    EXPECT_EQ(cfg.networkLatency, 40u);
+    EXPECT_EQ(cfg.memoryLatency, 120u);
+    EXPECT_EQ(cfg.networkInterfaceLatency, 60u);
+    EXPECT_EQ(cfg.ownerReadPolicy, OwnerReadPolicy::half_migratory);
+    cfg.validate(); // must not exit
+}
+
+TEST(Config, SummaryMentionsPolicy)
+{
+    MachineConfig cfg;
+    EXPECT_NE(cfg.summary().find("half-migratory"), std::string::npos);
+    cfg.ownerReadPolicy = OwnerReadPolicy::downgrade;
+    EXPECT_NE(cfg.summary().find("downgrade"), std::string::npos);
+}
+
+} // namespace
+} // namespace cosmos

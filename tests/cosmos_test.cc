@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Unit tests of the Cosmos predictor core: tuple encoding, the §3.3
+ * prediction and §3.4 update steps, the §3.5 out-of-order adaptation
+ * example, §3.6 filter semantics, Table 7 footprint accounting, arc
+ * statistics, accuracy tracking, and bank routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cosmos/accuracy.hh"
+#include "cosmos/arc_stats.hh"
+#include "cosmos/cosmos_predictor.hh"
+#include "cosmos/memory_stats.hh"
+#include "cosmos/predictor_bank.hh"
+
+namespace cosmos::pred
+{
+namespace
+{
+
+using proto::MsgType;
+
+MsgTuple
+tup(NodeId sender, MsgType type)
+{
+    return MsgTuple{sender, type};
+}
+
+TEST(Tuple, EncodeDecodeRoundTrip)
+{
+    for (NodeId sender : {0, 1, 15, 100, 4095}) {
+        for (unsigned t = 0; t < proto::num_msg_types; ++t) {
+            const MsgTuple orig =
+                tup(sender, static_cast<MsgType>(t));
+            EXPECT_EQ(MsgTuple::decode(orig.encode()), orig);
+        }
+    }
+}
+
+TEST(Tuple, PatternEncodingIsPositional)
+{
+    const auto a = tup(1, MsgType::get_ro_request);
+    const auto b = tup(2, MsgType::get_rw_request);
+    EXPECT_NE(encodePattern({a, b}), encodePattern({b, a}));
+    EXPECT_EQ(encodePattern({a, b}),
+              (std::uint64_t(a.encode()) << 16) | b.encode());
+}
+
+TEST(Tuple, FormatIsReadable)
+{
+    EXPECT_EQ(tup(3, MsgType::get_ro_request).format(),
+              "<P3,get_ro_request>");
+}
+
+TEST(Cosmos, NoPredictionBeforeHistoryFills)
+{
+    CosmosPredictor p(CosmosConfig{2, 0});
+    EXPECT_FALSE(p.predict(0x40).has_value());
+    auto r1 = p.observe(0x40, tup(1, MsgType::get_ro_request));
+    EXPECT_FALSE(r1.counted);
+    EXPECT_FALSE(p.predict(0x40).has_value());
+    auto r2 = p.observe(0x40, tup(2, MsgType::get_ro_request));
+    EXPECT_FALSE(r2.counted); // MHR just filled; first lookup is next
+    EXPECT_FALSE(p.predict(0x40).has_value()); // pattern still cold
+}
+
+TEST(Cosmos, LearnsARepeatingCycleAtDepthOne)
+{
+    // The Figure 3b producer-consumer directory cycle.
+    CosmosPredictor p(CosmosConfig{1, 0});
+    const MsgTuple cycle[3] = {
+        tup(1, MsgType::get_rw_request),
+        tup(2, MsgType::get_ro_request),
+        tup(1, MsgType::inval_rw_response),
+    };
+    // First two laps: learning (the wrap-around transition back to
+    // the cycle head is only seen at the start of lap two).
+    for (int lap = 0; lap < 2; ++lap)
+        for (const auto &t : cycle)
+            p.observe(0x80, t);
+    // Third lap onward: every arrival predicted correctly.
+    for (int lap = 0; lap < 5; ++lap) {
+        for (const auto &t : cycle) {
+            auto pred = p.predict(0x80);
+            ASSERT_TRUE(pred.has_value());
+            EXPECT_EQ(*pred, t);
+            auto res = p.observe(0x80, t);
+            EXPECT_TRUE(res.counted);
+            EXPECT_TRUE(res.hit);
+        }
+    }
+}
+
+TEST(Cosmos, Section35OutOfOrderConsumersNeedDepthTwo)
+{
+    // §3.5: consumers' requests arrive in one of two alternating
+    // orders. Depth 1 keeps flip-flopping; depth 2 pins every
+    // transition down because each 2-tuple context recurs with a
+    // single successor.
+    const MsgTuple a = tup(1, MsgType::get_ro_request);
+    const MsgTuple b = tup(2, MsgType::get_ro_request);
+    const MsgTuple c = tup(3, MsgType::get_ro_request);
+    const MsgTuple orders[2][3] = {{a, b, c}, {b, a, c}};
+
+    auto run = [&](unsigned depth) {
+        CosmosPredictor p(CosmosConfig{depth, 0});
+        // Warm several alternations.
+        for (int round = 0; round < 4; ++round)
+            for (const auto &t : orders[round % 2])
+                p.observe(0xc0, t);
+        int hits = 0, counted = 0;
+        for (int round = 4; round < 12; ++round) {
+            for (const auto &t : orders[round % 2]) {
+                auto res = p.observe(0xc0, t);
+                counted += res.counted;
+                hits += res.hit;
+            }
+        }
+        EXPECT_EQ(counted, 24);
+        return hits;
+    };
+
+    const int d1 = run(1);
+    const int d2 = run(2);
+    EXPECT_EQ(d2, 24);      // fully learned with two tuples
+    EXPECT_LT(d1, d2 - 6);  // one tuple keeps guessing wrong
+}
+
+TEST(Cosmos, UnfilteredPredictorSwitchesImmediately)
+{
+    // filterMax = 0: a single misprediction replaces the stored
+    // prediction (§3.6).
+    CosmosPredictor p(CosmosConfig{1, 0});
+    const MsgTuple a = tup(1, MsgType::get_ro_request);
+    const MsgTuple b = tup(2, MsgType::get_rw_request);
+    const MsgTuple c = tup(3, MsgType::upgrade_request);
+    p.observe(0, a);
+    p.observe(0, b); // learn a -> b
+    p.observe(0, a);
+    EXPECT_EQ(*p.predict(0), b);
+    p.observe(0, c); // mispredict: replace a -> c
+    p.observe(0, a);
+    EXPECT_EQ(*p.predict(0), c);
+}
+
+TEST(Cosmos, FilterKeepsPredictionThroughOneGlitch)
+{
+    // filterMax = 1: only two *consecutive* mispredictions replace
+    // the prediction -- the paper's single-bit counter.
+    CosmosPredictor p(CosmosConfig{1, 1});
+    const MsgTuple a = tup(1, MsgType::get_ro_request);
+    const MsgTuple b = tup(2, MsgType::get_rw_request);
+    const MsgTuple c = tup(3, MsgType::upgrade_request);
+
+    p.observe(0, a);
+    p.observe(0, b); // learn a -> b
+    p.observe(0, a);
+    p.observe(0, c); // glitch 1: counter 0 -> 1, prediction stays b
+    p.observe(0, a);
+    EXPECT_EQ(*p.predict(0), b);
+    auto res = p.observe(0, b); // correct again: counter resets
+    EXPECT_TRUE(res.hit);
+    p.observe(0, a);
+    p.observe(0, c); // glitch (counter 1)
+    p.observe(0, a);
+    EXPECT_EQ(*p.predict(0), b); // still b: glitches not consecutive
+}
+
+TEST(Cosmos, FilterReplacesAfterConsecutiveMisses)
+{
+    CosmosPredictor p(CosmosConfig{1, 1});
+    const MsgTuple a = tup(1, MsgType::get_ro_request);
+    const MsgTuple b = tup(2, MsgType::get_rw_request);
+    const MsgTuple c = tup(3, MsgType::upgrade_request);
+
+    p.observe(0, a);
+    p.observe(0, b); // learn a -> b
+    // Two consecutive (a -> c) mispredictions: adopt c.
+    p.observe(0, a);
+    p.observe(0, c);
+    p.observe(0, a);
+    p.observe(0, c);
+    p.observe(0, a);
+    EXPECT_EQ(*p.predict(0), c);
+}
+
+TEST(Cosmos, BlocksAreIndependent)
+{
+    CosmosPredictor p(CosmosConfig{1, 0});
+    const MsgTuple a = tup(1, MsgType::get_ro_request);
+    const MsgTuple b = tup(2, MsgType::get_rw_request);
+    p.observe(0x000, a);
+    p.observe(0x000, b);
+    p.observe(0x040, a);
+    // Block 0x40's PHT knows nothing about block 0's a -> b.
+    EXPECT_FALSE(p.predict(0x040).has_value());
+    p.observe(0x000, a);
+    EXPECT_TRUE(p.predict(0x000).has_value());
+}
+
+TEST(Cosmos, HistoryReportsMhrContents)
+{
+    CosmosPredictor p(CosmosConfig{3, 0});
+    const MsgTuple a = tup(1, MsgType::get_ro_request);
+    const MsgTuple b = tup(2, MsgType::get_rw_request);
+    const MsgTuple c = tup(3, MsgType::upgrade_request);
+    const MsgTuple d = tup(4, MsgType::inval_ro_response);
+    p.observe(0, a);
+    p.observe(0, b);
+    p.observe(0, c);
+    p.observe(0, d); // a falls out
+    const auto hist = p.history(0);
+    ASSERT_EQ(hist.size(), 3u);
+    EXPECT_EQ(hist[0], b);
+    EXPECT_EQ(hist[1], c);
+    EXPECT_EQ(hist[2], d);
+}
+
+TEST(Cosmos, FootprintCountsMhrAndPht)
+{
+    CosmosPredictor p(CosmosConfig{1, 0});
+    // Block 0: three messages -> MHR + 2 patterns.
+    p.observe(0x000, tup(1, MsgType::get_ro_request));
+    p.observe(0x000, tup(2, MsgType::get_rw_request));
+    p.observe(0x000, tup(3, MsgType::upgrade_request));
+    // Block 1: one message -> MHR only (refs <= depth).
+    p.observe(0x040, tup(1, MsgType::get_ro_request));
+    const auto f = p.footprint();
+    EXPECT_EQ(f.mhrEntries, 2u);
+    EXPECT_EQ(f.phtEntries, 2u);
+}
+
+TEST(CosmosDeathTest, DepthOutOfRangePanics)
+{
+    EXPECT_DEATH(CosmosPredictor(CosmosConfig{0, 0}), "depth");
+    EXPECT_DEATH(CosmosPredictor(CosmosConfig{5, 0}), "depth");
+}
+
+TEST(MemoryStats, Table7Formula)
+{
+    MemoryStats m;
+    m.depth = 1;
+    m.mhrEntries = 100;
+    m.phtEntries = 120;
+    EXPECT_DOUBLE_EQ(m.ratio(), 1.2);
+    // Ovhd = 2 * (1 + 1.2 * 2) * 100 / 128 = 5.3125
+    EXPECT_NEAR(m.overheadPercent(), 5.3125, 1e-9);
+
+    MemoryStats deep;
+    deep.depth = 3;
+    deep.mhrEntries = 10;
+    deep.phtEntries = 93;
+    // Paper's barnes row at depth 3: ratio 9.3 -> 63.0% (the exact
+    // formula value is 62.8125; the paper rounds).
+    EXPECT_NEAR(deep.overheadPercent(), 62.8125, 1e-9);
+}
+
+TEST(ArcStats, TracksHitAndRefShares)
+{
+    ArcStats arcs;
+    for (int i = 0; i < 90; ++i)
+        arcs.record(MsgType::get_ro_request, MsgType::upgrade_request,
+                    true);
+    for (int i = 0; i < 10; ++i)
+        arcs.record(MsgType::upgrade_request,
+                    MsgType::inval_ro_response, false);
+    const auto dominant = arcs.dominantArcs();
+    ASSERT_EQ(dominant.size(), 2u);
+    EXPECT_EQ(dominant[0].to, MsgType::upgrade_request);
+    EXPECT_DOUBLE_EQ(dominant[0].hitPercent, 100.0);
+    EXPECT_DOUBLE_EQ(dominant[0].refPercent, 90.0);
+    EXPECT_DOUBLE_EQ(dominant[1].hitPercent, 0.0);
+
+    // Threshold filters the small arc out.
+    EXPECT_EQ(arcs.dominantArcs(20.0).size(), 1u);
+
+    const auto one = arcs.arc(MsgType::upgrade_request,
+                              MsgType::inval_ro_response);
+    EXPECT_EQ(one.refs, 10u);
+    EXPECT_EQ(one.hits, 0u);
+}
+
+TEST(Accuracy, SplitsByRoleAndIteration)
+{
+    AccuracyTracker acc;
+    acc.record(proto::Role::cache, 0, true);
+    acc.record(proto::Role::cache, 0, false);
+    acc.record(proto::Role::directory, 1, true);
+    acc.record(proto::Role::directory, 2, false, false);
+
+    EXPECT_DOUBLE_EQ(acc.cacheSide().percent(), 50.0);
+    EXPECT_DOUBLE_EQ(acc.directorySide().percent(), 50.0);
+    EXPECT_DOUBLE_EQ(acc.overall().percent(), 50.0);
+    EXPECT_EQ(acc.coldMisses(), 1u);
+    EXPECT_EQ(acc.byIteration().size(), 3u);
+    EXPECT_DOUBLE_EQ(acc.upToIteration(1).percent(), 2.0 / 3.0 * 100);
+}
+
+TEST(Bank, RoutesRecordsToPerModulePredictors)
+{
+    PredictorBank bank(4, CosmosConfig{1, 0});
+    trace::TraceRecord r;
+    r.block = 0x40;
+    r.sender = 1;
+    r.type = MsgType::get_ro_request;
+    r.role = proto::Role::directory;
+    r.iteration = 0;
+
+    // Same block at two different directories: independent state.
+    r.receiver = 0;
+    bank.observe(r);
+    r.receiver = 2;
+    bank.observe(r);
+    EXPECT_FALSE(bank.predictor(0, proto::Role::directory)
+                     .predict(0x40)
+                     .has_value());
+    // Cache-role predictor at node 0 knows nothing of it.
+    EXPECT_FALSE(bank.predictor(0, proto::Role::cache)
+                     .predict(0x40)
+                     .has_value());
+    const auto mem = bank.memoryStats();
+    EXPECT_EQ(mem.mhrEntries, 2u);
+}
+
+TEST(Bank, ReplayRespectsIterationCap)
+{
+    trace::Trace t;
+    t.numNodes = 2;
+    for (int iter = 0; iter < 10; ++iter) {
+        trace::TraceRecord r;
+        r.block = 0;
+        r.receiver = 0;
+        r.sender = 1;
+        r.type = MsgType::get_ro_request;
+        r.role = proto::Role::directory;
+        r.iteration = iter;
+        t.records.push_back(r);
+    }
+    PredictorBank bank(2, CosmosConfig{1, 0});
+    bank.replay(t, 4);
+    // 5 records fed (iterations 0..4): first uncounted, 4 counted.
+    EXPECT_EQ(bank.accuracy().overall().total, 4u);
+}
+
+} // namespace
+} // namespace cosmos::pred

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests of the figure-artifact emitters: Graphviz signature graphs
+ * and CSV output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/figures.hh"
+
+namespace cosmos::harness
+{
+namespace
+{
+
+using proto::MsgType;
+
+pred::ArcStats
+sampleArcs()
+{
+    pred::ArcStats arcs;
+    for (int i = 0; i < 80; ++i)
+        arcs.record(MsgType::get_ro_response,
+                    MsgType::upgrade_response, true);
+    for (int i = 0; i < 15; ++i)
+        arcs.record(MsgType::upgrade_response,
+                    MsgType::inval_rw_request, false);
+    for (int i = 0; i < 5; ++i)
+        arcs.record(MsgType::inval_rw_request,
+                    MsgType::get_ro_response, true);
+    return arcs;
+}
+
+TEST(Figures, DotContainsNodesEdgesAndLabels)
+{
+    std::ostringstream os;
+    writeSignatureDot(sampleArcs(), "test graph", os, 2.0, 50.0);
+    const std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph signature"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"test graph\""), std::string::npos);
+    EXPECT_NE(dot.find("\"get_ro_response\" -> \"upgrade_response\""),
+              std::string::npos);
+    // 80/100 refs, all hits: label 100/80, bold (>= 50%).
+    EXPECT_NE(dot.find("label=\"100/80\", style=bold"),
+              std::string::npos);
+    // 15% arc is present but not bold.
+    EXPECT_NE(dot.find("label=\"0/15\"];"), std::string::npos);
+}
+
+TEST(Figures, DotThresholdDropsSmallArcs)
+{
+    std::ostringstream os;
+    writeSignatureDot(sampleArcs(), "t", os, 10.0);
+    // The 5% arc is below the 10% cut.
+    EXPECT_EQ(os.str().find("\"inval_rw_request\" ->"),
+              std::string::npos);
+}
+
+TEST(Figures, CsvEscapesSpecials)
+{
+    std::ostringstream os;
+    writeCsv(os, {"a", "b"},
+             {{"plain", "with,comma"}, {"with\"quote", "x"}});
+    EXPECT_EQ(os.str(), "a,b\n"
+                        "plain,\"with,comma\"\n"
+                        "\"with\"\"quote\",x\n");
+}
+
+TEST(FiguresDeathTest, CsvRowWidthMismatchPanics)
+{
+    std::ostringstream os;
+    EXPECT_DEATH(writeCsv(os, {"a", "b"}, {{"only-one"}}),
+                 "width mismatch");
+}
+
+TEST(Figures, DumpWritesBothRoles)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/cosmos_figures_test";
+    std::filesystem::remove_all(dir);
+    const auto paths =
+        dumpSignatureDots("unit", sampleArcs(), sampleArcs(), dir);
+    ASSERT_EQ(paths.size(), 2u);
+    for (const auto &path : paths) {
+        std::ifstream is(path);
+        ASSERT_TRUE(is.good()) << path;
+        std::stringstream ss;
+        ss << is.rdbuf();
+        EXPECT_NE(ss.str().find("digraph"), std::string::npos);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace cosmos::harness

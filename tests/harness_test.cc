@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests of the experiment harness: run configuration handling,
+ * trace metadata, invariant enforcement, and the trace cache
+ * (including its disk persistence).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "harness/experiment.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/micro.hh"
+
+namespace cosmos::harness
+{
+namespace
+{
+
+TEST(Experiment, FillsTraceMetadata)
+{
+    RunConfig cfg;
+    cfg.app = "micro_rmw";
+    cfg.iterations = 6;
+    cfg.warmupIterations = 1;
+    cfg.seed = 0xabc;
+    auto result = runWorkload(cfg);
+    EXPECT_EQ(result.trace.app, "micro_rmw");
+    EXPECT_EQ(result.trace.numNodes, 16);
+    EXPECT_EQ(result.trace.blockBytes, 64u);
+    EXPECT_EQ(result.trace.iterations, 6);
+    EXPECT_EQ(result.trace.seed, 0xabcu);
+    EXPECT_GT(result.events, 0u);
+    EXPECT_GT(result.finalTime, 0u);
+}
+
+TEST(Experiment, WarmupIterationsAreExcluded)
+{
+    RunConfig cfg;
+    cfg.app = "micro_rmw";
+    cfg.iterations = 8;
+    cfg.warmupIterations = 4;
+    auto result = runWorkload(cfg);
+    for (const auto &r : result.trace.records)
+        EXPECT_GE(r.iteration, 4);
+
+    cfg.warmupIterations = 0;
+    auto full = runWorkload(cfg);
+    EXPECT_GT(full.trace.records.size(),
+              result.trace.records.size());
+}
+
+TEST(Experiment, IterationOverrideWins)
+{
+    RunConfig cfg;
+    cfg.app = "micro_producer_consumer";
+    cfg.iterations = 3;
+    cfg.warmupIterations = 0;
+    auto result = runWorkload(cfg);
+    std::int32_t max_iter = 0;
+    for (const auto &r : result.trace.records)
+        max_iter = std::max(max_iter, r.iteration);
+    EXPECT_EQ(max_iter, 2);
+}
+
+TEST(ExperimentDeathTest, WarmupBeyondIterationsPanics)
+{
+    RunConfig cfg;
+    cfg.app = "micro_rmw";
+    cfg.iterations = 2;
+    cfg.warmupIterations = 5;
+    EXPECT_DEATH(runWorkload(cfg), "warm-up");
+}
+
+TEST(Experiment, CustomWorkloadInstance)
+{
+    RunConfig cfg;
+    wl::FalseSharingParams params;
+    params.blocks = 4;
+    params.iterations = 10;
+    wl::FalseSharingMicro workload(params);
+    auto result = runWorkload(cfg, workload);
+    EXPECT_GT(result.trace.records.size(), 50u);
+    // False sharing means both halves' writers fight over the same
+    // blocks: at most `blocks` + padding-page blocks are involved.
+    EXPECT_LE(result.trace.distinctBlocks(), 4u);
+}
+
+TEST(TraceCache, ReturnsSameObjectForSameKey)
+{
+    clearTraceCache();
+    const auto &a = cachedTrace("micro_rmw", 4);
+    const auto &b = cachedTrace("micro_rmw", 4);
+    EXPECT_EQ(&a, &b);
+    const auto &c = cachedTrace("micro_rmw", 5);
+    EXPECT_NE(&a, &c);
+    clearTraceCache();
+}
+
+TEST(TraceCache, KeysOnPolicyAndSeed)
+{
+    clearTraceCache();
+    const auto &hm =
+        cachedTrace("micro_rmw", 4, OwnerReadPolicy::half_migratory);
+    const auto &dg =
+        cachedTrace("micro_rmw", 4, OwnerReadPolicy::downgrade);
+    EXPECT_NE(&hm, &dg);
+    const auto &seeded = cachedTrace(
+        "micro_rmw", 4, OwnerReadPolicy::half_migratory, 99);
+    EXPECT_NE(&hm, &seeded);
+    clearTraceCache();
+}
+
+TEST(TraceCache, PersistsToDiskWhenConfigured)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "/cosmos_trace_cache_test";
+    fs::remove_all(dir);
+    setenv("COSMOS_TRACE_CACHE", dir.c_str(), 1);
+
+    clearTraceCache();
+    const auto &first = cachedTrace("micro_rmw", 4);
+    const auto first_size = first.records.size();
+    // A file must now exist.
+    bool found = false;
+    for (const auto &entry : fs::directory_iterator(dir))
+        found |= entry.path().extension() == ".trace";
+    EXPECT_TRUE(found);
+
+    // A fresh in-memory cache must load the same trace from disk.
+    clearTraceCache();
+    const auto &second = cachedTrace("micro_rmw", 4);
+    EXPECT_EQ(second.records.size(), first_size);
+
+    unsetenv("COSMOS_TRACE_CACHE");
+    clearTraceCache();
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace cosmos::harness

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests of the sharing-pattern classifier: hand-built directory
+ * message streams with exactly known classifications, plus
+ * end-to-end checks against the micro-workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "trace/pattern_census.hh"
+#include "workloads/micro.hh"
+
+namespace cosmos::trace
+{
+namespace
+{
+
+using proto::MsgType;
+
+void
+append(Trace &t, Addr block, NodeId sender, MsgType type)
+{
+    TraceRecord r;
+    r.block = block;
+    r.sender = sender;
+    r.type = type;
+    r.role = proto::receiverRole(type);
+    t.records.push_back(r);
+}
+
+TEST(PatternCensus, ReadOnlyBlock)
+{
+    Trace t;
+    for (int i = 0; i < 8; ++i)
+        append(t, 0, static_cast<NodeId>(i % 4),
+               MsgType::get_ro_request);
+    const auto census = classifyTrace(t);
+    EXPECT_EQ(census.blocks[static_cast<unsigned>(
+                  SharingPattern::read_only)],
+              1u);
+    EXPECT_DOUBLE_EQ(
+        census.messagePercent(SharingPattern::read_only), 100.0);
+}
+
+TEST(PatternCensus, RarelyTouchedBlock)
+{
+    Trace t;
+    append(t, 0, 1, MsgType::get_ro_request);
+    append(t, 0, 1, MsgType::get_rw_request);
+    const auto census = classifyTrace(t, 6);
+    EXPECT_EQ(census.blocks[static_cast<unsigned>(
+                  SharingPattern::rarely_touched)],
+              1u);
+}
+
+TEST(PatternCensus, ProducerConsumerBlock)
+{
+    // One writer (node 0), one reader (node 1), many rounds.
+    Trace t;
+    for (int round = 0; round < 6; ++round) {
+        append(t, 0, 0, MsgType::get_rw_request);
+        append(t, 0, 0, MsgType::inval_rw_response);
+        append(t, 0, 1, MsgType::get_ro_request);
+    }
+    const auto census = classifyTrace(t);
+    EXPECT_EQ(census.blocks[static_cast<unsigned>(
+                  SharingPattern::producer_consumer)],
+              1u);
+}
+
+TEST(PatternCensus, ProducerWhoReadsFirstIsStillProducerConsumer)
+{
+    // appbt-style: the dominant writer reads before writing; that
+    // must not classify as migratory (ownership never rotates).
+    Trace t;
+    for (int round = 0; round < 6; ++round) {
+        append(t, 0, 0, MsgType::get_ro_request);
+        append(t, 0, 0, MsgType::upgrade_request);
+        append(t, 0, 1, MsgType::get_ro_request);
+    }
+    const auto census = classifyTrace(t);
+    EXPECT_EQ(census.blocks[static_cast<unsigned>(
+                  SharingPattern::producer_consumer)],
+              1u);
+}
+
+TEST(PatternCensus, MigratoryBlock)
+{
+    // Ownership rotates 0 -> 1 -> 2 -> 0 ..., each node reading then
+    // upgrading: the Figure 8b discipline.
+    Trace t;
+    for (int round = 0; round < 6; ++round) {
+        const NodeId node = static_cast<NodeId>(round % 3);
+        append(t, 0, node, MsgType::get_ro_request);
+        append(t, 0, node, MsgType::upgrade_request);
+    }
+    const auto census = classifyTrace(t);
+    EXPECT_EQ(census.blocks[static_cast<unsigned>(
+                  SharingPattern::migratory)],
+              1u);
+}
+
+TEST(PatternCensus, MultiWriterBlock)
+{
+    // Two writers alternating blind writes: false-sharing style.
+    Trace t;
+    for (int round = 0; round < 8; ++round)
+        append(t, 0, static_cast<NodeId>(round % 2),
+               MsgType::get_rw_request);
+    const auto census = classifyTrace(t);
+    EXPECT_EQ(census.blocks[static_cast<unsigned>(
+                  SharingPattern::multi_writer)],
+              1u);
+}
+
+TEST(PatternCensus, CacheSideRecordsAreIgnored)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        append(t, 0, 1, MsgType::get_ro_response); // cache role
+    const auto census = classifyTrace(t);
+    EXPECT_EQ(census.totalBlocks, 0u);
+}
+
+TEST(PatternCensus, MicroWorkloadsClassifyAsDesigned)
+{
+    {
+        harness::RunConfig cfg;
+        wl::MigratoryParams params;
+        params.iterations = 20;
+        wl::MigratoryMicro workload(params);
+        auto result = harness::runWorkload(cfg, workload);
+        const auto census = classifyTrace(result.trace);
+        EXPECT_GT(census.messagePercent(SharingPattern::migratory),
+                  90.0);
+    }
+    {
+        harness::RunConfig cfg;
+        wl::ProducerConsumerParams params;
+        params.iterations = 20;
+        wl::ProducerConsumerMicro workload(params);
+        auto result = harness::runWorkload(cfg, workload);
+        const auto census = classifyTrace(result.trace);
+        EXPECT_GT(census.messagePercent(
+                      SharingPattern::producer_consumer),
+                  90.0);
+    }
+}
+
+TEST(PatternCensus, FormatListsAllClasses)
+{
+    PatternCensus census;
+    census.totalBlocks = 1;
+    census.totalMessages = 10;
+    census.blocks[2] = 1;
+    census.messages[2] = 10;
+    const std::string text = census.format();
+    for (unsigned i = 0; i < num_sharing_patterns; ++i)
+        EXPECT_NE(text.find(toString(
+                      static_cast<SharingPattern>(i))),
+                  std::string::npos);
+}
+
+} // namespace
+} // namespace cosmos::trace

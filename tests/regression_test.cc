@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Shape-regression suite: full default runs of every application,
+ * asserting the paper-shape properties that EXPERIMENTS.md reports.
+ * These tests guard the workload kernels and the predictor against
+ * refactors that would silently break the reproduction; bounds are
+ * deliberately generous bands around the measured values, not exact
+ * pins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "cosmos/predictor_bank.hh"
+#include "harness/trace_cache.hh"
+
+namespace cosmos
+{
+namespace
+{
+
+struct Rates
+{
+    double c, d, o;
+};
+
+Rates
+ratesFor(const std::string &app, unsigned depth, unsigned filter = 0)
+{
+    const auto &trace = harness::cachedTrace(app);
+    pred::PredictorBank bank(trace.numNodes,
+                             pred::CosmosConfig{depth, filter});
+    bank.replay(trace);
+    const auto &acc = bank.accuracy();
+    return {acc.cacheSide().percent(), acc.directorySide().percent(),
+            acc.overall().percent()};
+}
+
+TEST(Regression, Table5BandsHold)
+{
+    // Generous +-6-point bands around the measured Table 5 values
+    // (paper values in EXPERIMENTS.md).
+    const std::map<std::string, double> overall_d1 = {
+        {"appbt", 81},       {"barnes", 69}, {"dsmc", 86},
+        {"moldyn", 84},      {"unstructured", 73}};
+    const std::map<std::string, double> overall_d3 = {
+        {"appbt", 84},       {"barnes", 69}, {"dsmc", 90},
+        {"moldyn", 86},      {"unstructured", 89}};
+    for (const auto &[app, expect] : overall_d1)
+        EXPECT_NEAR(ratesFor(app, 1).o, expect, 6.0) << app << " d1";
+    for (const auto &[app, expect] : overall_d3)
+        EXPECT_NEAR(ratesFor(app, 3).o, expect, 6.0) << app << " d3";
+}
+
+TEST(Regression, CacheBeatsDirectoryEverywhere)
+{
+    for (const auto &app : wl::paperWorkloads()) {
+        for (unsigned depth : {1u, 3u}) {
+            const auto r = ratesFor(app, depth);
+            EXPECT_GT(r.c, r.d) << app << " depth " << depth;
+        }
+    }
+}
+
+TEST(Regression, BarnesIsTheWorstApplication)
+{
+    for (unsigned depth : {1u, 2u, 3u}) {
+        const double barnes = ratesFor("barnes", depth).o;
+        for (const auto &app : wl::paperWorkloads()) {
+            if (app == "barnes")
+                continue;
+            EXPECT_GT(ratesFor(app, depth).o, barnes)
+                << app << " vs barnes at depth " << depth;
+        }
+    }
+}
+
+TEST(Regression, UnstructuredGainsMostFromDepth)
+{
+    double best_gain = -100.0;
+    std::string best_app;
+    for (const auto &app : wl::paperWorkloads()) {
+        const double gain =
+            ratesFor(app, 3).o - ratesFor(app, 1).o;
+        if (gain > best_gain) {
+            best_gain = gain;
+            best_app = app;
+        }
+    }
+    EXPECT_EQ(best_app, "unstructured");
+    EXPECT_GT(best_gain, 8.0);
+}
+
+TEST(Regression, DsmcDirectoryGainsFromDepth)
+{
+    // The §3.5 out-of-order mechanism: dsmc's directory side climbs
+    // several points from depth 1 to depth 3.
+    EXPECT_GT(ratesFor("dsmc", 3).d, ratesFor("dsmc", 1).d + 4.0);
+}
+
+TEST(Regression, FiltersHelpOnlyAtDepthOne)
+{
+    // Mean filter benefit across applications: clearly positive at
+    // depth 1, near zero at depth 2 (Table 6's shape).
+    double gain_d1 = 0.0, gain_d2 = 0.0;
+    for (const auto &app : wl::paperWorkloads()) {
+        gain_d1 += ratesFor(app, 1, 1).o - ratesFor(app, 1, 0).o;
+        gain_d2 += ratesFor(app, 2, 1).o - ratesFor(app, 2, 0).o;
+    }
+    gain_d1 /= 5.0;
+    gain_d2 /= 5.0;
+    EXPECT_GT(gain_d1, 0.5);
+    EXPECT_LT(gain_d2, gain_d1);
+}
+
+TEST(Regression, BarnesHasTheLargestMemoryFootprint)
+{
+    for (const auto &app : wl::paperWorkloads()) {
+        if (app == "barnes")
+            continue;
+        const auto &barnes_trace = harness::cachedTrace("barnes");
+        const auto &other_trace = harness::cachedTrace(app);
+        pred::PredictorBank barnes_bank(barnes_trace.numNodes,
+                                        pred::CosmosConfig{3, 0});
+        pred::PredictorBank other_bank(other_trace.numNodes,
+                                       pred::CosmosConfig{3, 0});
+        barnes_bank.replay(barnes_trace);
+        other_bank.replay(other_trace);
+        EXPECT_GT(barnes_bank.memoryStats().ratio(),
+                  other_bank.memoryStats().ratio())
+            << app;
+    }
+}
+
+TEST(Regression, DsmcRatioStaysBelowOne)
+{
+    const auto &trace = harness::cachedTrace("dsmc");
+    pred::PredictorBank bank(trace.numNodes, pred::CosmosConfig{1, 0});
+    bank.replay(trace);
+    EXPECT_LT(bank.memoryStats().ratio(), 1.0);
+}
+
+TEST(Regression, MoldynShowsMigratorySignature)
+{
+    const auto &trace = harness::cachedTrace("moldyn");
+    pred::PredictorBank bank(trace.numNodes, pred::CosmosConfig{1, 0});
+    bank.replay(trace);
+    // The Figure 7 cache-side relationship: the migratory second leg
+    // (upgrade_response after get_ro_response) out-references the
+    // producer-consumer leg (inval_ro_request after get_ro_response).
+    const auto &arcs = bank.arcs(proto::Role::cache);
+    const auto migratory = arcs.arc(proto::MsgType::get_ro_response,
+                                    proto::MsgType::upgrade_response);
+    const auto pc = arcs.arc(proto::MsgType::get_ro_response,
+                             proto::MsgType::inval_ro_request);
+    EXPECT_GT(migratory.refs, pc.refs);
+    EXPECT_GT(migratory.refs, 0u);
+    EXPECT_GT(pc.refs, 0u);
+}
+
+TEST(Regression, AppbtFalseSharingDragsDirectoryArcsDown)
+{
+    // The paper's Figure 6 blames appbt's weakest directory arcs on
+    // false sharing in two data structures. Our kernel's false-shared
+    // residual arrays produce the same effect: the weakest dominant
+    // directory arc sits well below the directory average, while the
+    // cache side has no comparably weak dominant arc.
+    const auto &trace = harness::cachedTrace("appbt");
+    pred::PredictorBank bank(trace.numNodes, pred::CosmosConfig{1, 0});
+    bank.replay(trace);
+
+    const auto weakest = [&](proto::Role role) {
+        double w = 100.0;
+        for (const auto &arc : bank.arcs(role).dominantArcs(5.0))
+            w = std::min(w, arc.hitPercent);
+        return w;
+    };
+    EXPECT_LT(weakest(proto::Role::directory),
+              bank.accuracy().directorySide().percent() - 3.0);
+    EXPECT_GT(weakest(proto::Role::cache), 75.0);
+
+    // The Figure 6 false-sharing arc itself exists and is imperfect.
+    const auto fs_arc =
+        bank.arcs(proto::Role::directory)
+            .arc(proto::MsgType::upgrade_request,
+                 proto::MsgType::inval_ro_response);
+    ASSERT_GT(fs_arc.refs, 100u);
+    EXPECT_LT(fs_arc.hitPercent, 85.0);
+}
+
+} // namespace
+} // namespace cosmos

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests of the discrete-event engine: ordering, tie-breaking,
+ * time monotonicity, nested scheduling, and bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace cosmos::sim
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTimeZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&]() { order.push_back(3); });
+    eq.scheduleAt(10, [&]() { order.push_back(1); });
+    eq.scheduleAt(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesDuringExecution)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(17, [&]() { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 17u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.scheduleAt(100, [&]() {
+        eq.scheduleAfter(5, [&]() { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 105u);
+}
+
+TEST(EventQueue, NestedSchedulingChains)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 100)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.scheduleAt(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, RunHonoursEventLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(i, [&]() { ++fired; });
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, ExecutedCountsAllEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleAt(i, []() {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(50, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(10, []() {}), "past");
+}
+
+TEST(EventQueue, SameTickEventScheduledDuringExecutionRuns)
+{
+    // An event scheduled for "now" from inside a handler must still
+    // fire (after the current event).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(5, [&]() {
+        order.push_back(1);
+        eq.scheduleAt(5, [&]() { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+} // namespace
+} // namespace cosmos::sim

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * cosmos -- command-line driver for the library.
+ *
+ * Subcommands:
+ *   list                         available workloads
+ *   run <app> [options]          simulate; print a run summary and
+ *                                optionally save the message trace
+ *   analyze <trace> [options]    replay a saved trace through Cosmos
+ *   sweep <app> [options]        depth x filter accuracy table
+ *   accel <app> [options]        baseline vs predictor-accelerated run
+ *   figures <app> [options]      write Graphviz signature graphs
+ *   census <app> [options]       sharing-pattern census
+ *
+ * Common options:
+ *   --iterations N   override the workload's iteration count
+ *   --seed S         simulation seed (decimal or 0x hex)
+ *   --policy P       owner-read policy: half-migratory | downgrade
+ *   --depth D        MHR depth for analyze (default 2)
+ *   --filter F       filter max count for analyze (default 0)
+ *   --out FILE       (run) save the trace here; (figures) output
+ *                    directory (default ".")
+ *
+ * Examples:
+ *   cosmos run moldyn --iterations 20 --out moldyn.trace
+ *   cosmos analyze moldyn.trace --depth 3
+ *   cosmos sweep unstructured
+ *   cosmos accel micro_rmw
+ *   cosmos figures appbt --out figs/
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "cosmos/predictor_bank.hh"
+#include "harness/accel_runner.hh"
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "trace/pattern_census.hh"
+#include "trace/trace_io.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace cosmos;
+
+struct CliArgs
+{
+    std::string command;
+    std::string target;
+    int iterations = -1;
+    std::uint64_t seed = 0x5eedc05305ULL;
+    OwnerReadPolicy policy = OwnerReadPolicy::half_migratory;
+    unsigned depth = 2;
+    unsigned filter = 0;
+    std::string out;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cosmos "
+        "<list|run|analyze|sweep|accel|figures|census> [target] "
+        "[--iterations N] [--seed S]\n"
+        "              [--policy half-migratory|downgrade] "
+        "[--depth D] [--filter F] [--out FILE]\n");
+    std::exit(2);
+}
+
+CliArgs
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    CliArgs args;
+    args.command = argv[1];
+    int i = 2;
+    if (i < argc && argv[i][0] != '-')
+        args.target = argv[i++];
+    for (; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (flag == "--iterations") {
+            args.iterations = std::atoi(value());
+        } else if (flag == "--seed") {
+            args.seed = std::strtoull(value(), nullptr, 0);
+        } else if (flag == "--policy") {
+            const std::string p = value();
+            if (p == "half-migratory")
+                args.policy = OwnerReadPolicy::half_migratory;
+            else if (p == "downgrade")
+                args.policy = OwnerReadPolicy::downgrade;
+            else
+                usage();
+        } else if (flag == "--depth") {
+            args.depth = static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--filter") {
+            args.filter = static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--out") {
+            args.out = value();
+        } else {
+            usage();
+        }
+    }
+    return args;
+}
+
+harness::RunConfig
+makeRunConfig(const CliArgs &args)
+{
+    harness::RunConfig cfg;
+    cfg.app = args.target;
+    cfg.iterations = args.iterations;
+    cfg.seed = args.seed;
+    cfg.machine.ownerReadPolicy = args.policy;
+    cfg.checkInvariants = false;
+    return cfg;
+}
+
+void
+printAnalysis(const trace::Trace &trace, unsigned depth,
+              unsigned filter)
+{
+    pred::PredictorBank bank(trace.numNodes,
+                             pred::CosmosConfig{depth, filter});
+    bank.replay(trace);
+    const auto &acc = bank.accuracy();
+    std::printf("Cosmos depth %u, filter %u over %zu messages:\n",
+                depth, filter, trace.records.size());
+    std::printf("  cache %.1f%%  directory %.1f%%  overall %.1f%%\n",
+                acc.cacheSide().percent(),
+                acc.directorySide().percent(),
+                acc.overall().percent());
+    const auto mem = bank.memoryStats();
+    std::printf("  memory: PHT/MHR ratio %.2f, overhead %.1f%% of a "
+                "128B block\n",
+                mem.ratio(), mem.overheadPercent());
+    for (auto role : {proto::Role::cache, proto::Role::directory}) {
+        std::printf("  dominant arcs at the %s (hit%%/ref%%):\n",
+                    proto::toString(role));
+        for (const auto &arc : bank.arcs(role).dominantArcs(3.0)) {
+            std::printf("    %-22s -> %-22s %3.0f/%-3.0f\n",
+                        proto::toString(arc.from),
+                        proto::toString(arc.to), arc.hitPercent,
+                        arc.refPercent);
+        }
+    }
+}
+
+int
+cmdList()
+{
+    std::printf("paper applications:\n");
+    for (const auto &name : wl::paperWorkloads())
+        std::printf("  %s\n", name.c_str());
+    std::printf("microbenchmarks:\n");
+    for (const char *name :
+         {"micro_producer_consumer", "micro_migratory", "micro_rmw",
+          "micro_false_sharing"})
+        std::printf("  %s\n", name);
+    return 0;
+}
+
+int
+cmdRun(const CliArgs &args)
+{
+    if (args.target.empty())
+        usage();
+    auto result = harness::runWorkload(makeRunConfig(args));
+    std::printf("%s: %zu messages, %zu blocks, %llu events, "
+                "%llu ns simulated\n",
+                args.target.c_str(), result.trace.records.size(),
+                result.trace.distinctBlocks(),
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(result.finalTime));
+    std::printf("network: %s\n", result.network.format().c_str());
+    if (!result.workloadStats.empty())
+        std::printf("workload: %s\n", result.workloadStats.c_str());
+    std::printf("protocol: %llu loads, %llu stores, %llu read "
+                "misses, %llu write misses, %llu upgrades\n",
+                static_cast<unsigned long long>(result.totals.loads),
+                static_cast<unsigned long long>(result.totals.stores),
+                static_cast<unsigned long long>(
+                    result.totals.readMisses),
+                static_cast<unsigned long long>(
+                    result.totals.writeMisses),
+                static_cast<unsigned long long>(
+                    result.totals.upgrades));
+    if (!args.out.empty()) {
+        trace::saveTrace(args.out, result.trace);
+        std::printf("trace written to %s\n", args.out.c_str());
+    } else {
+        printAnalysis(result.trace, args.depth, args.filter);
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(const CliArgs &args)
+{
+    if (args.target.empty())
+        usage();
+    const auto trace = trace::loadTrace(args.target);
+    std::printf("trace: app=%s nodes=%u iterations=%d\n",
+                trace.app.c_str(), trace.numNodes, trace.iterations);
+    printAnalysis(trace, args.depth, args.filter);
+    return 0;
+}
+
+int
+cmdSweep(const CliArgs &args)
+{
+    if (args.target.empty())
+        usage();
+    auto result = harness::runWorkload(makeRunConfig(args));
+    TextTable table("overall accuracy (%), " + args.target);
+    table.setHeader({"Depth", "filter 0", "filter 1", "filter 2"});
+    for (unsigned depth = 1; depth <= 4; ++depth) {
+        std::vector<std::string> row = {std::to_string(depth)};
+        for (unsigned filter = 0; filter <= 2; ++filter) {
+            pred::PredictorBank bank(
+                result.trace.numNodes,
+                pred::CosmosConfig{depth, filter});
+            bank.replay(result.trace);
+            row.push_back(TextTable::num(
+                bank.accuracy().overall().percent(), 1));
+        }
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdFigures(const CliArgs &args)
+{
+    if (args.target.empty())
+        usage();
+    auto result = harness::runWorkload(makeRunConfig(args));
+    pred::PredictorBank bank(result.trace.numNodes,
+                             pred::CosmosConfig{args.depth,
+                                                args.filter});
+    bank.replay(result.trace);
+    const std::string dir = args.out.empty() ? "." : args.out;
+    for (const auto &path : harness::dumpSignatureDots(
+             args.target, bank.arcs(proto::Role::cache),
+             bank.arcs(proto::Role::directory), dir)) {
+        std::printf("wrote %s\n", path.c_str());
+    }
+    std::printf("render with: dot -Tsvg <file> -o <file>.svg\n");
+    return 0;
+}
+
+int
+cmdCensus(const CliArgs &args)
+{
+    if (args.target.empty())
+        usage();
+    auto result = harness::runWorkload(makeRunConfig(args));
+    const auto census = trace::classifyTrace(result.trace);
+    std::printf("sharing-pattern census of %s (%llu classified "
+                "blocks, %llu directory messages):\n%s",
+                args.target.c_str(),
+                static_cast<unsigned long long>(census.totalBlocks),
+                static_cast<unsigned long long>(census.totalMessages),
+                census.format().c_str());
+    return 0;
+}
+
+int
+cmdAccel(const CliArgs &args)
+{
+    if (args.target.empty())
+        usage();
+    const auto cfg = makeRunConfig(args);
+    const auto base = harness::runWorkload(cfg);
+    accel::OnlineOptions opts;
+    opts.predictor = pred::CosmosConfig{args.depth,
+                                        std::max(args.filter, 1u)};
+    const auto acc = harness::runAccelerated(cfg, opts);
+    const double speedup =
+        100.0 * (static_cast<double>(base.finalTime) /
+                     static_cast<double>(acc.run.finalTime) -
+                 1.0);
+    std::printf("baseline:     %llu ns, %llu remote messages, "
+                "%llu upgrades\n",
+                static_cast<unsigned long long>(base.finalTime),
+                static_cast<unsigned long long>(
+                    base.network.remoteMessages),
+                static_cast<unsigned long long>(
+                    base.totals.upgrades));
+    std::printf("accelerated:  %llu ns, %llu remote messages, "
+                "%llu upgrades\n",
+                static_cast<unsigned long long>(acc.run.finalTime),
+                static_cast<unsigned long long>(
+                    acc.run.network.remoteMessages),
+                static_cast<unsigned long long>(
+                    acc.run.totals.upgrades));
+    std::printf("speedup %.1f%%; %llu exclusive grants, %llu "
+                "recalls; live predictor accuracy %.1f%%\n",
+                speedup,
+                static_cast<unsigned long long>(
+                    acc.run.totals.exclusiveGrants),
+                static_cast<unsigned long long>(
+                    acc.run.totals.recalls),
+                acc.predictorAccuracyPercent);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args = parse(argc, argv);
+    if (args.command == "list")
+        return cmdList();
+    if (args.command == "run")
+        return cmdRun(args);
+    if (args.command == "analyze")
+        return cmdAnalyze(args);
+    if (args.command == "sweep")
+        return cmdSweep(args);
+    if (args.command == "accel")
+        return cmdAccel(args);
+    if (args.command == "figures")
+        return cmdFigures(args);
+    if (args.command == "census")
+        return cmdCensus(args);
+    usage();
+}

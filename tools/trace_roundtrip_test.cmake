@@ -1,0 +1,19 @@
+# Smoke test: `cosmos run --out` then `cosmos analyze` round-trips a
+# trace through the binary format.
+execute_process(
+    COMMAND ${CLI} run micro_rmw --iterations 6
+            --out ${WORK}/roundtrip.trace
+    RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+    message(FATAL_ERROR "cosmos run failed: ${rc1}")
+endif()
+execute_process(
+    COMMAND ${CLI} analyze ${WORK}/roundtrip.trace --depth 2
+    RESULT_VARIABLE rc2
+    OUTPUT_VARIABLE out)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR "cosmos analyze failed: ${rc2}")
+endif()
+if(NOT out MATCHES "overall")
+    message(FATAL_ERROR "analyze output missing accuracy summary")
+endif()
