@@ -17,8 +17,8 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "cosmos/predictor_bank.hh"
 #include "harness/experiment.hh"
+#include "replay/sweep.hh"
 #include "workloads/appbt.hh"
 #include "workloads/barnes.hh"
 #include "workloads/dsmc.hh"
@@ -82,27 +82,40 @@ main()
         "Ablation: machine size; Cosmos depth-2 accuracy "
         "(cache / directory / overall)");
 
+    // Each (app, machine size) cell simulates its own scaled
+    // workload, so the cells -- not just the replays -- run as pool
+    // tasks; results land by index, keeping the output order fixed.
+    const NodeId sizes[] = {NodeId{4}, NodeId{16}, NodeId{64}};
+    const std::size_t cells = bench::apps.size() * std::size(sizes);
+    std::vector<std::string> cellText(cells);
+
+    replay::ThreadPool pool;
+    replay::SweepEngine engine(pool);
+    pool.parallelFor(cells, [&](std::size_t i) {
+        const auto &app = bench::apps[i / std::size(sizes)];
+        const NodeId nodes = sizes[i % std::size(sizes)];
+        harness::RunConfig cfg;
+        cfg.machine.numNodes = nodes;
+        cfg.checkInvariants = false;
+        auto workload = makeScaled(app, nodes);
+        auto result = harness::runWorkload(cfg, *workload);
+
+        replay::ReplayJob job;
+        job.config = pred::CosmosConfig{2, 0};
+        const auto res = engine.replayTrace(result.trace, job);
+        const auto &acc = res.accuracy;
+        cellText[i] = TextTable::num(acc.cacheSide().percent(), 0) +
+                      "/" +
+                      TextTable::num(acc.directorySide().percent(), 0) +
+                      "/" + TextTable::num(acc.overall().percent(), 0);
+    });
+
     TextTable table;
     table.setHeader({"App", "4 nodes", "16 nodes", "64 nodes"});
-    for (const auto &app : bench::apps) {
-        std::vector<std::string> row = {app};
-        for (NodeId nodes : {NodeId{4}, NodeId{16}, NodeId{64}}) {
-            harness::RunConfig cfg;
-            cfg.machine.numNodes = nodes;
-            cfg.checkInvariants = false;
-            auto workload = makeScaled(app, nodes);
-            auto result = harness::runWorkload(cfg, *workload);
-
-            pred::PredictorBank bank(nodes, pred::CosmosConfig{2, 0});
-            bank.replay(result.trace);
-            const auto &acc = bank.accuracy();
-            row.push_back(TextTable::num(acc.cacheSide().percent(), 0) +
-                          "/" +
-                          TextTable::num(
-                              acc.directorySide().percent(), 0) +
-                          "/" +
-                          TextTable::num(acc.overall().percent(), 0));
-        }
+    for (std::size_t a = 0; a < bench::apps.size(); ++a) {
+        std::vector<std::string> row = {bench::apps[a]};
+        for (std::size_t s = 0; s < std::size(sizes); ++s)
+            row.push_back(cellText[a * std::size(sizes) + s]);
         table.addRow(row);
     }
     std::fputs(table.render().c_str(), stdout);

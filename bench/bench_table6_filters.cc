@@ -13,8 +13,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "cosmos/predictor_bank.hh"
-#include "harness/trace_cache.hh"
+#include "harness/sweep.hh"
 
 int
 main()
@@ -44,20 +43,24 @@ main()
     }
     table.addSeparator();
 
+    // All 30 (depth x app x filter) cells replay concurrently.
+    std::vector<replay::ReplayJob> jobs;
+    for (unsigned depth = 1; depth <= 2; ++depth)
+        for (const auto &app : bench::apps)
+            for (unsigned filter = 0; filter <= 2; ++filter)
+                jobs.push_back(
+                    {.app = app,
+                     .config = pred::CosmosConfig{depth, filter}});
+    const auto results = harness::runSweep(jobs);
+
+    std::size_t i = 0;
     for (unsigned depth = 1; depth <= 2; ++depth) {
         std::vector<std::string> row = {"ours  " +
                                         std::to_string(depth)};
-        for (const auto &app : bench::apps) {
-            const auto &trace = harness::cachedTrace(app);
-            for (unsigned filter = 0; filter <= 2; ++filter) {
-                pred::PredictorBank bank(
-                    trace.numNodes,
-                    pred::CosmosConfig{depth, filter});
-                bank.replay(trace);
+        for (std::size_t a = 0; a < bench::apps.size(); ++a)
+            for (unsigned filter = 0; filter <= 2; ++filter, ++i)
                 row.push_back(TextTable::num(
-                    bank.accuracy().overall().percent(), 0));
-            }
-        }
+                    results[i].accuracy.overall().percent(), 0));
         table.addRow(row);
     }
 

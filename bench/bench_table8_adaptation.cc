@@ -19,7 +19,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "cosmos/predictor_bank.hh"
+#include "harness/sweep.hh"
 #include "harness/trace_cache.hh"
 
 namespace
@@ -56,7 +56,19 @@ main()
     const int lengths[] = {4, 80, 320};
 
     // One 320-iteration simulation; shorter runs replay prefixes.
-    const auto &trace = harness::cachedTrace("dsmc", 320);
+    // All three prefix replays (shared by the watched arcs) plus the
+    // five adaptation replays below go through one parallel sweep.
+    std::vector<replay::ReplayJob> jobs;
+    for (int length : lengths)
+        jobs.push_back({.app = "dsmc",
+                        .iterations = 320,
+                        .config = pred::CosmosConfig{1, 0},
+                        .maxIteration = length - 1});
+    for (const auto &app : bench::apps)
+        jobs.push_back({.app = app,
+                        .iterations = app == "dsmc" ? 320 : -1,
+                        .config = pred::CosmosConfig{1, 0}});
+    const auto results = harness::runSweep(jobs);
 
     TextTable table;
     table.setHeader({"Transition", "4 it (paper)", "4 it (ours)",
@@ -67,13 +79,11 @@ main()
         row.push_back(std::string(proto::toString(arc.from)) + " -> " +
                       proto::toString(arc.to) + " @" + arc.role);
         for (int l = 0; l < 3; ++l) {
-            pred::PredictorBank bank(trace.numNodes,
-                                     pred::CosmosConfig{1, 0});
-            bank.replay(trace, lengths[l] - 1);
-            const auto role = arc.role[0] == 'c'
-                                  ? proto::Role::cache
-                                  : proto::Role::directory;
-            const auto r = bank.arcs(role).arc(arc.from, arc.to);
+            const auto &res = results[l];
+            const auto &arcs_side = arc.role[0] == 'c'
+                                        ? res.cacheArcs
+                                        : res.directoryArcs;
+            const auto r = arcs_side.arc(arc.from, arc.to);
             row.push_back(std::to_string(arc.paper[l][0]) + "/" +
                           std::to_string(arc.paper[l][1]));
             row.push_back(
@@ -92,16 +102,14 @@ main()
     adapt.setHeader({"App", "Iterations simulated",
                      "Steady-state reached at iteration",
                      "Final overall %"});
-    for (const auto &app : bench::apps) {
+    for (std::size_t a = 0; a < bench::apps.size(); ++a) {
+        const auto &app = bench::apps[a];
         const int iters = app == "dsmc" ? 320 : -1;
         const auto &t = harness::cachedTrace(app, iters);
-        pred::PredictorBank bank(t.numNodes, pred::CosmosConfig{1, 0});
-        bank.replay(t);
+        const auto &acc = results[3 + a].accuracy;
         adapt.addRow({app, std::to_string(t.iterations),
-                      std::to_string(
-                          bank.accuracy().iterationsToSteadyState()),
-                      TextTable::num(
-                          bank.accuracy().overall().percent(), 1)});
+                      std::to_string(acc.iterationsToSteadyState()),
+                      TextTable::num(acc.overall().percent(), 1)});
     }
     std::fputs(adapt.render().c_str(), stdout);
     return 0;

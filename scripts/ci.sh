@@ -1,20 +1,35 @@
 #!/usr/bin/env bash
-# Full local CI: configure, build (warnings as errors), test, and
-# smoke-run every bench and example.
+# Full local CI: configure, build (warnings as errors), test,
+# smoke-run every bench and example (with per-bench wall time, so
+# parallel-replay speedups are visible), and race-check the replay
+# engine under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja -DCOSMOS_WERROR=ON
+# Prefer Ninja, but fall back to CMake's default generator (usually
+# Unix Makefiles) on hosts without it. An already-configured build
+# directory keeps whatever generator it was created with.
+GENERATOR=()
+if command -v ninja > /dev/null 2>&1; then
+    GENERATOR=(-G Ninja)
+fi
+gen_for() { [[ -f "$1/CMakeCache.txt" ]] && echo || echo "${GENERATOR[@]:-}"; }
+
+# shellcheck disable=SC2046
+cmake -B build $(gen_for build) -DCOSMOS_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+now_ms() { echo $(($(date +%s%N) / 1000000)); }
+
 for b in build/bench/bench_*; do
-    echo "== $b"
+    start=$(now_ms)
     if [[ "$(basename "$b")" == bench_microperf ]]; then
         "$b" --benchmark_min_time=0.05 > /dev/null
     else
         "$b" > /dev/null
     fi
+    echo "== $b ($(($(now_ms) - start)) ms)"
 done
 for e in build/examples/*; do
     [[ -x "$e" && -f "$e" ]] || continue
@@ -22,4 +37,16 @@ for e in build/examples/*; do
     "$e" > /dev/null
 done
 ./build/tools/cosmos list > /dev/null
+
+# ThreadSanitizer pass over the parallel replay engine: the
+# determinism + ThreadPool + trace-cache concurrency tests must run
+# race-free.
+# shellcheck disable=SC2046
+cmake -B build-tsan $(gen_for build-tsan) -DCOSMOS_TSAN=ON
+cmake --build build-tsan --target replay_test harness_test
+start=$(now_ms)
+./build-tsan/tests/replay_test
+./build-tsan/tests/harness_test --gtest_filter='TraceCache.*'
+echo "== tsan replay/trace-cache suites ($(($(now_ms) - start)) ms)"
+
 echo "CI OK"

@@ -23,6 +23,19 @@ AccuracyTracker::record(proto::Role role, std::int32_t iteration,
     byIteration_[iteration].record(hit);
 }
 
+void
+AccuracyTracker::merge(const AccuracyTracker &other)
+{
+    overall_.merge(other.overall_);
+    cache_.merge(other.cache_);
+    directory_.merge(other.directory_);
+    coldMisses_ += other.coldMisses_;
+    if (byIteration_.size() < other.byIteration_.size())
+        byIteration_.resize(other.byIteration_.size());
+    for (std::size_t i = 0; i < other.byIteration_.size(); ++i)
+        byIteration_[i].merge(other.byIteration_[i]);
+}
+
 HitRatio
 AccuracyTracker::upToIteration(std::int32_t last_iteration) const
 {

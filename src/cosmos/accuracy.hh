@@ -34,6 +34,14 @@ class AccuracyTracker
     void record(proto::Role role, std::int32_t iteration, bool hit,
                 bool had_prediction = true);
 
+    /**
+     * Fold another tracker's counts into this one (sharded replay
+     * reduction). Pure integer addition, so merging per-shard
+     * trackers in any fixed order reproduces the serial counts
+     * bit-for-bit.
+     */
+    void merge(const AccuracyTracker &other);
+
     const HitRatio &overall() const { return overall_; }
     const HitRatio &cacheSide() const { return cache_; }
     const HitRatio &directorySide() const { return directory_; }

@@ -23,6 +23,14 @@ ArcStats::record(proto::MsgType from, proto::MsgType to, bool hit)
     ++totalRefs_;
 }
 
+void
+ArcStats::merge(const ArcStats &other)
+{
+    for (const auto &[key, ratio] : other.arcs_)
+        arcs_[key].merge(ratio);
+    totalRefs_ += other.totalRefs_;
+}
+
 std::vector<ArcReport>
 ArcStats::dominantArcs(double min_ref_percent) const
 {

@@ -43,6 +43,12 @@ class ArcStats
     /** Record a counted reference on arc @p from -> @p to. */
     void record(proto::MsgType from, proto::MsgType to, bool hit);
 
+    /**
+     * Fold another accumulator's arcs into this one (sharded replay
+     * reduction; integer addition, deterministic in any fixed order).
+     */
+    void merge(const ArcStats &other);
+
     /** Total counted references. */
     std::uint64_t totalRefs() const { return totalRefs_; }
 

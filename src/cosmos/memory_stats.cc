@@ -1,5 +1,7 @@
 #include "cosmos/memory_stats.hh"
 
+#include "common/log.hh"
+
 namespace cosmos::pred
 {
 
@@ -8,6 +10,16 @@ MemoryStats::merge(const CosmosFootprint &f)
 {
     mhrEntries += f.mhrEntries;
     phtEntries += f.phtEntries;
+}
+
+void
+MemoryStats::merge(const MemoryStats &other)
+{
+    cosmos_assert(depth == other.depth,
+                  "merging memory stats of different depths: ", depth,
+                  " vs ", other.depth);
+    mhrEntries += other.mhrEntries;
+    phtEntries += other.phtEntries;
 }
 
 double

@@ -33,6 +33,13 @@ struct MemoryStats
     /** Merge one predictor's footprint. */
     void merge(const CosmosFootprint &f);
 
+    /**
+     * Fold another aggregate of the same depth into this one
+     * (sharded replay reduction): a block lives in exactly one
+     * shard, so entry counts sum exactly.
+     */
+    void merge(const MemoryStats &other);
+
     /** PHT-to-MHR ratio (0 when no MHR entries). */
     double ratio() const;
 

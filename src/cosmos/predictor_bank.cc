@@ -81,6 +81,18 @@ PredictorBank::replay(const trace::Trace &t, std::int32_t max_iteration)
     }
 }
 
+void
+PredictorBank::replay(
+    const std::vector<const trace::TraceRecord *> &records,
+    std::int32_t max_iteration)
+{
+    for (const auto *r : records) {
+        if (r->iteration > max_iteration)
+            continue;
+        observe(*r);
+    }
+}
+
 const ArcStats &
 PredictorBank::arcs(proto::Role role) const
 {

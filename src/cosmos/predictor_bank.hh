@@ -57,6 +57,14 @@ class PredictorBank
     void replay(const trace::Trace &t,
                 std::int32_t max_iteration = INT32_MAX);
 
+    /**
+     * Replay a pre-selected slice of a trace -- typically one block
+     * shard (replay/sharding.hh). Pointers must stay valid for the
+     * call; records are fed in the given order.
+     */
+    void replay(const std::vector<const trace::TraceRecord *> &records,
+                std::int32_t max_iteration = INT32_MAX);
+
     const AccuracyTracker &accuracy() const { return accuracy_; }
     const ArcStats &arcs(proto::Role role) const;
 

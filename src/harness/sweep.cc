@@ -1,0 +1,21 @@
+#include "harness/sweep.hh"
+
+#include "harness/trace_cache.hh"
+
+namespace cosmos::harness
+{
+
+std::vector<replay::ReplayResult>
+runSweep(const std::vector<replay::ReplayJob> &jobs,
+         const SweepOptions &opts)
+{
+    replay::ThreadPool pool(opts.threads);
+    replay::SweepEngine engine(
+        pool, [](const replay::ReplayJob &job) -> const trace::Trace & {
+            return cachedTrace(job.app, job.iterations, job.policy,
+                               job.seed);
+        });
+    return engine.run(jobs);
+}
+
+} // namespace cosmos::harness

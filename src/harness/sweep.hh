@@ -1,0 +1,42 @@
+/**
+ * @file
+ * One-call parallel sweeps over the standard paper traces.
+ *
+ * runSweep() glues the replay subsystem to the process-wide trace
+ * cache: jobs fetch their traces through harness::cachedTrace (so
+ * the five simulations run at most once, concurrently on first use)
+ * and replay through a replay::SweepEngine. Results are in job
+ * order and bit-identical to a serial replay of each cell.
+ */
+
+#ifndef COSMOS_HARNESS_SWEEP_HH
+#define COSMOS_HARNESS_SWEEP_HH
+
+#include <vector>
+
+#include "replay/sweep.hh"
+
+namespace cosmos::harness
+{
+
+/** Knobs of one runSweep call. */
+struct SweepOptions
+{
+    /**
+     * Worker threads; 0 resolves via COSMOS_THREADS, then
+     * hardware_concurrency (replay::ThreadPool::defaultThreadCount).
+     */
+    unsigned threads = 0;
+};
+
+/**
+ * Run every job on a fresh thread pool; result i belongs to jobs[i].
+ * Traces are fetched (simulating on first use) through cachedTrace.
+ */
+std::vector<replay::ReplayResult> runSweep(
+    const std::vector<replay::ReplayJob> &jobs,
+    const SweepOptions &opts = {});
+
+} // namespace cosmos::harness
+
+#endif // COSMOS_HARNESS_SWEEP_HH

@@ -15,8 +15,22 @@ namespace cosmos::harness
 namespace
 {
 
+/**
+ * One cache slot. The once-flag serializes *per key*: two workers
+ * asking for the same trace never simulate it twice (the second
+ * blocks until the first finishes), while requests for different
+ * keys simulate fully in parallel -- the map mutex is never held
+ * across a simulation.
+ */
+struct CacheEntry
+{
+    std::once_flag once;
+    trace::Trace trace;
+};
+
 std::mutex cache_mutex;
-std::map<std::string, trace::Trace> cache;
+// node-based map: CacheEntry references stay valid across inserts.
+std::map<std::string, CacheEntry> cache;
 
 std::string
 cacheKey(const std::string &app, int iterations, OwnerReadPolicy policy,
@@ -36,41 +50,45 @@ cachedTrace(const std::string &app, int iterations,
             OwnerReadPolicy policy, std::uint64_t seed)
 {
     const std::string key = cacheKey(app, iterations, policy, seed);
-    std::lock_guard<std::mutex> guard(cache_mutex);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
-    // Disk cache, if configured.
-    const char *dir = std::getenv("COSMOS_TRACE_CACHE");
-    std::string path;
-    if (dir) {
-        std::filesystem::create_directories(dir);
-        path = std::string(dir) + "/" + key + ".trace";
-        if (std::filesystem::exists(path)) {
-            auto [pos, inserted] =
-                cache.emplace(key, trace::loadTrace(path));
-            cosmos_assert(inserted, "duplicate trace cache key");
-            return pos->second;
-        }
+    CacheEntry *entry;
+    {
+        std::lock_guard<std::mutex> guard(cache_mutex);
+        entry = &cache[key];
     }
 
-    RunConfig cfg;
-    cfg.app = app;
-    cfg.iterations = iterations;
-    cfg.seed = seed;
-    cfg.machine.ownerReadPolicy = policy;
-    // Invariants are covered by the test suite; skip them on the
-    // (much longer) bench runs.
-    cfg.checkInvariants = false;
-    RunResult result = runWorkload(cfg);
+    std::call_once(entry->once, [&] {
+        // Disk cache, if configured. A corrupt or half-written file
+        // (another process died mid-write, stale format) is not
+        // fatal: fall back to re-simulating.
+        const char *dir = std::getenv("COSMOS_TRACE_CACHE");
+        std::string path;
+        if (dir) {
+            std::filesystem::create_directories(dir);
+            path = std::string(dir) + "/" + key + ".trace";
+            if (auto loaded = trace::tryLoadTrace(path)) {
+                entry->trace = std::move(*loaded);
+                return;
+            }
+            if (std::filesystem::exists(path))
+                cosmos_warn("corrupt trace cache file ", path,
+                            "; re-simulating");
+        }
 
-    if (dir)
-        trace::saveTrace(path, result.trace);
+        RunConfig cfg;
+        cfg.app = app;
+        cfg.iterations = iterations;
+        cfg.seed = seed;
+        cfg.machine.ownerReadPolicy = policy;
+        // Invariants are covered by the test suite; skip them on the
+        // (much longer) bench runs.
+        cfg.checkInvariants = false;
+        RunResult result = runWorkload(cfg);
 
-    auto [pos, inserted] = cache.emplace(key, std::move(result.trace));
-    cosmos_assert(inserted, "duplicate trace cache key");
-    return pos->second;
+        if (dir)
+            trace::saveTraceAtomic(path, result.trace);
+        entry->trace = std::move(result.trace);
+    });
+    return entry->trace;
 }
 
 void

@@ -8,6 +8,12 @@
  * distinct (app, iterations, policy, seed) is simulated once per
  * process and optionally persisted to the directory named by the
  * COSMOS_TRACE_CACHE environment variable for reuse across binaries.
+ *
+ * cachedTrace is thread-safe: a per-key once-flag guarantees one
+ * simulation per key even under concurrent fetches, and distinct
+ * keys simulate in parallel. Disk persistence is write-temp+rename,
+ * so concurrent binaries never read a half-written trace; a corrupt
+ * cache file falls back to re-simulation instead of aborting.
  */
 
 #ifndef COSMOS_HARNESS_TRACE_CACHE_HH
@@ -34,7 +40,11 @@ const trace::Trace &cachedTrace(
     OwnerReadPolicy policy = OwnerReadPolicy::half_migratory,
     std::uint64_t seed = 0x5eedc05305ULL);
 
-/** Drop all in-memory cached traces (tests use this). */
+/**
+ * Drop all in-memory cached traces (tests use this). Not safe
+ * concurrently with in-flight cachedTrace calls, whose references
+ * it would invalidate.
+ */
 void clearTraceCache();
 
 } // namespace cosmos::harness

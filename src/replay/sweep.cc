@@ -1,0 +1,99 @@
+#include "replay/sweep.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "cosmos/predictor_bank.hh"
+#include "replay/sharding.hh"
+
+namespace cosmos::replay
+{
+
+namespace
+{
+
+ReplayResult
+extract(const pred::PredictorBank &bank)
+{
+    ReplayResult r;
+    r.accuracy = bank.accuracy();
+    r.cacheArcs = bank.arcs(proto::Role::cache);
+    r.directoryArcs = bank.arcs(proto::Role::directory);
+    r.memory = bank.memoryStats();
+    return r;
+}
+
+} // namespace
+
+void
+ReplayResult::merge(const ReplayResult &other)
+{
+    accuracy.merge(other.accuracy);
+    cacheArcs.merge(other.cacheArcs);
+    directoryArcs.merge(other.directoryArcs);
+    memory.merge(other.memory);
+}
+
+SweepEngine::SweepEngine(ThreadPool &pool, TraceProvider provider)
+    : pool_(pool), provider_(std::move(provider))
+{
+}
+
+SweepEngine::SweepEngine(ThreadPool &pool) : pool_(pool) {}
+
+std::vector<ReplayResult>
+SweepEngine::run(const std::vector<ReplayJob> &jobs)
+{
+    cosmos_assert(provider_,
+                  "SweepEngine::run requires a trace provider");
+    // When jobs already saturate the workers, shard-splitting each
+    // one only adds bank setup cost; shard within jobs when cells
+    // are scarcer than threads.
+    const unsigned default_shards =
+        jobs.size() >= pool_.size()
+            ? 1
+            : static_cast<unsigned>(
+                  (pool_.size() + jobs.size() - 1) / jobs.size());
+
+    std::vector<ReplayResult> results(jobs.size());
+    pool_.parallelFor(jobs.size(), [&](std::size_t i) {
+        const trace::Trace &t = provider_(jobs[i]);
+        results[i] = replayTrace(t, jobs[i], default_shards);
+    });
+    return results;
+}
+
+ReplayResult
+SweepEngine::replayTrace(const trace::Trace &t, const ReplayJob &job,
+                         unsigned default_shards)
+{
+    unsigned shards = job.shards != 0 ? job.shards : default_shards;
+    shards = std::max(shards, 1u);
+    // A shard per ~64k records is the break-even floor; below that,
+    // bank construction dominates.
+    const unsigned useful = static_cast<unsigned>(
+        t.records.size() / 65536 + 1);
+    shards = std::min(shards, useful);
+
+    if (shards == 1) {
+        pred::PredictorBank bank(t.numNodes, job.config);
+        bank.replay(t, job.maxIteration);
+        return extract(bank);
+    }
+
+    const auto parts = shardByBlock(t, shards);
+    std::vector<ReplayResult> partial(parts.size());
+    pool_.parallelFor(parts.size(), [&](std::size_t s) {
+        pred::PredictorBank bank(t.numNodes, job.config);
+        bank.replay(parts[s].records, job.maxIteration);
+        partial[s] = extract(bank);
+    });
+
+    // Deterministic reduction: fold in shard-index order.
+    ReplayResult merged = std::move(partial.front());
+    for (std::size_t s = 1; s < partial.size(); ++s)
+        merged.merge(partial[s]);
+    return merged;
+}
+
+} // namespace cosmos::replay

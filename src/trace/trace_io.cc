@@ -1,9 +1,12 @@
 #include "trace/trace_io.hh"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
+
+#include <unistd.h>
 
 #include "common/log.hh"
 
@@ -22,35 +25,50 @@ put(std::ostream &os, const T &v)
     os.write(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
-template <typename T>
-T
-get(std::istream &is)
+/**
+ * Checked reader over a binary stream. A failed or implausible read
+ * latches ok = false; subsequent gets return zeroes, so a parse can
+ * run to completion and be judged once at the end.
+ */
+struct Reader
 {
-    T v{};
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!is)
-        cosmos_panic("truncated trace stream");
-    return v;
-}
+    std::istream &is;
+    bool ok = true;
+
+    template <typename T>
+    T
+    get()
+    {
+        T v{};
+        if (!ok)
+            return v;
+        is.read(reinterpret_cast<char *>(&v), sizeof(v));
+        if (!is)
+            ok = false;
+        return v;
+    }
+
+    std::string
+    getString()
+    {
+        const auto n = get<std::uint32_t>();
+        if (!ok || n > (1u << 20)) {
+            ok = false;
+            return {};
+        }
+        std::string s(n, '\0');
+        is.read(s.data(), n);
+        if (!is)
+            ok = false;
+        return s;
+    }
+};
 
 void
 putString(std::ostream &os, const std::string &s)
 {
     put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
     os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string
-getString(std::istream &is)
-{
-    const auto n = get<std::uint32_t>(is);
-    if (n > (1u << 20))
-        cosmos_panic("implausible string length in trace: ", n);
-    std::string s(n, '\0');
-    is.read(s.data(), n);
-    if (!is)
-        cosmos_panic("truncated trace stream");
-    return s;
 }
 
 } // namespace
@@ -76,31 +94,51 @@ writeTrace(std::ostream &os, const Trace &t)
     }
 }
 
-Trace
-readTrace(std::istream &is)
+std::optional<Trace>
+tryReadTrace(std::istream &is)
 {
-    if (get<std::uint32_t>(is) != trace_magic)
-        cosmos_panic("bad trace magic");
+    Reader in{is};
+    if (in.get<std::uint32_t>() != trace_magic || !in.ok)
+        return std::nullopt;
     Trace t;
-    t.app = getString(is);
-    t.numNodes = get<NodeId>(is);
-    t.blockBytes = get<unsigned>(is);
-    t.iterations = get<std::int32_t>(is);
-    t.seed = get<std::uint64_t>(is);
-    const auto n = get<std::uint64_t>(is);
-    t.records.reserve(n);
+    t.app = in.getString();
+    t.numNodes = in.get<NodeId>();
+    t.blockBytes = in.get<unsigned>();
+    t.iterations = in.get<std::int32_t>();
+    t.seed = in.get<std::uint64_t>();
+    const auto n = in.get<std::uint64_t>();
+    if (!in.ok)
+        return std::nullopt;
+    // Cap the up-front reservation: a corrupt count would otherwise
+    // ask for terabytes before the record reads fail.
+    t.records.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 22)));
     for (std::uint64_t i = 0; i < n; ++i) {
         TraceRecord r;
-        r.block = get<Addr>(is);
-        r.when = get<Tick>(is);
-        r.receiver = get<NodeId>(is);
-        r.sender = get<NodeId>(is);
-        r.type = static_cast<proto::MsgType>(get<std::uint8_t>(is));
-        r.role = static_cast<proto::Role>(get<std::uint8_t>(is));
-        r.iteration = get<std::int32_t>(is);
+        r.block = in.get<Addr>();
+        r.when = in.get<Tick>();
+        r.receiver = in.get<NodeId>();
+        r.sender = in.get<NodeId>();
+        r.type = static_cast<proto::MsgType>(in.get<std::uint8_t>());
+        r.role = static_cast<proto::Role>(in.get<std::uint8_t>());
+        r.iteration = in.get<std::int32_t>();
+        if (!in.ok)
+            return std::nullopt;
+        if (static_cast<unsigned>(r.type) >= proto::num_msg_types ||
+            static_cast<std::uint8_t>(r.role) > 1)
+            return std::nullopt;
         t.records.push_back(r);
     }
     return t;
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    auto t = tryReadTrace(is);
+    if (!t)
+        cosmos_panic("malformed trace stream");
+    return std::move(*t);
 }
 
 void
@@ -114,6 +152,30 @@ saveTrace(const std::string &path, const Trace &t)
         cosmos_fatal("error writing trace file: ", path);
 }
 
+void
+saveTraceAtomic(const std::string &path, const Trace &t)
+{
+    namespace fs = std::filesystem;
+    // Per-process temp name: concurrent writers race only on the
+    // final rename, which is atomic (last one wins, both complete).
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            cosmos_fatal("cannot open trace file for writing: ", tmp);
+        writeTrace(os, t);
+        os.flush();
+        if (!os)
+            cosmos_fatal("error writing trace file: ", tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        cosmos_fatal("cannot rename trace file into place: ", path);
+    }
+}
+
 Trace
 loadTrace(const std::string &path)
 {
@@ -121,6 +183,15 @@ loadTrace(const std::string &path)
     if (!is)
         cosmos_fatal("cannot open trace file: ", path);
     return readTrace(is);
+}
+
+std::optional<Trace>
+tryLoadTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    return tryReadTrace(is);
 }
 
 } // namespace cosmos::trace

@@ -8,6 +8,7 @@
 #define COSMOS_TRACE_TRACE_IO_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "trace/trace.hh"
@@ -21,9 +22,27 @@ void writeTrace(std::ostream &os, const Trace &t);
 /** Read a trace from @p is; panics on a malformed stream. */
 Trace readTrace(std::istream &is);
 
+/**
+ * Read a trace from @p is; nullopt on a truncated, corrupt, or
+ * implausible stream. The recoverable twin of readTrace() -- callers
+ * holding a possibly half-written file (a shared trace cache, user
+ * input) fall back to re-simulating instead of aborting.
+ */
+std::optional<Trace> tryReadTrace(std::istream &is);
+
 /** File-path convenience wrappers (fatal on I/O failure). */
 void saveTrace(const std::string &path, const Trace &t);
 Trace loadTrace(const std::string &path);
+
+/** Load @p path; nullopt if missing, unreadable, or malformed. */
+std::optional<Trace> tryLoadTrace(const std::string &path);
+
+/**
+ * Save durably against concurrent readers: write to a temporary
+ * sibling file, then atomically rename over @p path, so another
+ * process loading @p path never observes a half-written trace.
+ */
+void saveTraceAtomic(const std::string &path, const Trace &t);
 
 } // namespace cosmos::trace
 

@@ -9,9 +9,12 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
+#include "common/log.hh"
 #include "harness/experiment.hh"
 #include "harness/trace_cache.hh"
+#include "replay/thread_pool.hh"
 #include "workloads/micro.hh"
 
 namespace cosmos::harness
@@ -138,6 +141,55 @@ TEST(TraceCache, PersistsToDiskWhenConfigured)
     unsetenv("COSMOS_TRACE_CACHE");
     clearTraceCache();
     fs::remove_all(dir);
+}
+
+TEST(TraceCache, CorruptDiskCacheFallsBackToSimulation)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "/cosmos_trace_cache_corrupt";
+    fs::remove_all(dir);
+    setenv("COSMOS_TRACE_CACHE", dir.c_str(), 1);
+
+    // Prime the disk cache, then corrupt the file in place.
+    clearTraceCache();
+    const auto good_size = cachedTrace("micro_rmw", 4).records.size();
+    std::string path;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".trace")
+            path = entry.path().string();
+    ASSERT_FALSE(path.empty());
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << "half-written garbage";
+    }
+
+    // A fresh fetch must re-simulate (warning, not abort) and
+    // produce the same trace.
+    clearTraceCache();
+    setWarningsEnabled(false);
+    const auto &again = cachedTrace("micro_rmw", 4);
+    setWarningsEnabled(true);
+    EXPECT_EQ(again.records.size(), good_size);
+
+    unsetenv("COSMOS_TRACE_CACHE");
+    clearTraceCache();
+    fs::remove_all(dir);
+}
+
+TEST(TraceCache, ConcurrentDistinctKeysSimulateInParallel)
+{
+    clearTraceCache();
+    replay::ThreadPool pool(4);
+    std::vector<const trace::Trace *> traces(4);
+    pool.parallelFor(traces.size(), [&](std::size_t i) {
+        traces[i] =
+            &cachedTrace("micro_rmw", 3 + static_cast<int>(i));
+    });
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        for (std::size_t j = i + 1; j < traces.size(); ++j)
+            EXPECT_NE(traces[i], traces[j]);
+    clearTraceCache();
 }
 
 } // namespace

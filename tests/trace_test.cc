@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "trace/trace.hh"
@@ -117,7 +118,7 @@ TEST(TraceIoDeathTest, BadMagicPanics)
 {
     std::stringstream ss;
     ss << "this is not a trace file";
-    EXPECT_DEATH(readTrace(ss), "magic");
+    EXPECT_DEATH(readTrace(ss), "malformed");
 }
 
 TEST(TraceIoDeathTest, TruncatedStreamPanics)
@@ -131,7 +132,77 @@ TEST(TraceIoDeathTest, TruncatedStreamPanics)
     std::string bytes = ss.str();
     bytes.resize(bytes.size() / 2);
     std::stringstream cut(bytes);
-    EXPECT_DEATH(readTrace(cut), "truncated");
+    EXPECT_DEATH(readTrace(cut), "malformed");
+}
+
+TEST(TraceIo, TryReadRecoversFromMalformedStreams)
+{
+    // Bad magic.
+    std::stringstream junk("this is not a trace file");
+    EXPECT_FALSE(tryReadTrace(junk).has_value());
+
+    Trace t;
+    t.app = "x";
+    TraceRecord r;
+    r.type = proto::MsgType::get_ro_request;
+    t.records.push_back(r);
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const std::string bytes = ss.str();
+
+    // Truncation at every prefix length must be survivable.
+    for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+        std::stringstream s(bytes.substr(0, cut));
+        EXPECT_FALSE(tryReadTrace(s).has_value());
+    }
+
+    // An out-of-range message type byte is rejected, not trusted.
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() - 6] = '\x7f'; // type byte of the record
+    std::stringstream cs(corrupt);
+    EXPECT_FALSE(tryReadTrace(cs).has_value());
+
+    // The intact stream still parses.
+    std::stringstream good(bytes);
+    const auto back = tryReadTrace(good);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->records, t.records);
+}
+
+TEST(TraceIo, TryLoadMissingFileReturnsNullopt)
+{
+    EXPECT_FALSE(
+        tryLoadTrace("/nonexistent/dir/nothing.trace").has_value());
+}
+
+TEST(TraceIo, AtomicSaveRoundTripsAndLeavesNoTempFile)
+{
+    namespace fs = std::filesystem;
+    Trace t;
+    t.app = "atomic";
+    TraceRecord r;
+    r.block = 0x40;
+    t.records.push_back(r);
+
+    const std::string dir =
+        ::testing::TempDir() + "/cosmos_atomic_save";
+    fs::create_directories(dir);
+    const std::string path = dir + "/x.trace";
+    saveTraceAtomic(path, t);
+    const auto back = tryLoadTrace(path);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->records, t.records);
+    // Only the final file remains -- the temp was renamed away.
+    std::size_t entries = 0;
+    for ([[maybe_unused]] const auto &e : fs::directory_iterator(dir))
+        ++entries;
+    EXPECT_EQ(entries, 1u);
+
+    // Overwriting an existing file is also atomic and lossless.
+    t.records.push_back(r);
+    saveTraceAtomic(path, t);
+    EXPECT_EQ(tryLoadTrace(path)->records.size(), 2u);
+    fs::remove_all(dir);
 }
 
 TEST(TraceIo, FileSaveAndLoad)

@@ -18,6 +18,8 @@
  *   --policy P       owner-read policy: half-migratory | downgrade
  *   --depth D        MHR depth for analyze (default 2)
  *   --filter F       filter max count for analyze (default 0)
+ *   --threads N      (sweep) worker threads; 0 = COSMOS_THREADS,
+ *                    else hardware concurrency
  *   --out FILE       (run) save the trace here; (figures) output
  *                    directory (default ".")
  *
@@ -40,6 +42,7 @@
 #include "harness/accel_runner.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
+#include "harness/sweep.hh"
 #include "trace/pattern_census.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
@@ -58,6 +61,7 @@ struct CliArgs
     OwnerReadPolicy policy = OwnerReadPolicy::half_migratory;
     unsigned depth = 2;
     unsigned filter = 0;
+    unsigned threads = 0;
     std::string out;
 };
 
@@ -70,7 +74,7 @@ usage()
         "<list|run|analyze|sweep|accel|figures|census> [target] "
         "[--iterations N] [--seed S]\n"
         "              [--policy half-migratory|downgrade] "
-        "[--depth D] [--filter F] [--out FILE]\n");
+        "[--depth D] [--filter F] [--threads N] [--out FILE]\n");
     std::exit(2);
 }
 
@@ -107,6 +111,8 @@ parse(int argc, char **argv)
             args.depth = static_cast<unsigned>(std::atoi(value()));
         } else if (flag == "--filter") {
             args.filter = static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--threads") {
+            args.threads = static_cast<unsigned>(std::atoi(value()));
         } else if (flag == "--out") {
             args.out = value();
         } else {
@@ -223,19 +229,28 @@ cmdSweep(const CliArgs &args)
 {
     if (args.target.empty())
         usage();
-    auto result = harness::runWorkload(makeRunConfig(args));
+    // All 12 depth x filter cells replay the one simulated trace
+    // concurrently through the parallel sweep engine.
+    std::vector<replay::ReplayJob> jobs;
+    for (unsigned depth = 1; depth <= 4; ++depth)
+        for (unsigned filter = 0; filter <= 2; ++filter)
+            jobs.push_back(
+                {.app = args.target,
+                 .iterations = args.iterations,
+                 .policy = args.policy,
+                 .seed = args.seed,
+                 .config = pred::CosmosConfig{depth, filter}});
+    const auto results =
+        harness::runSweep(jobs, {.threads = args.threads});
+
     TextTable table("overall accuracy (%), " + args.target);
     table.setHeader({"Depth", "filter 0", "filter 1", "filter 2"});
+    std::size_t i = 0;
     for (unsigned depth = 1; depth <= 4; ++depth) {
         std::vector<std::string> row = {std::to_string(depth)};
-        for (unsigned filter = 0; filter <= 2; ++filter) {
-            pred::PredictorBank bank(
-                result.trace.numNodes,
-                pred::CosmosConfig{depth, filter});
-            bank.replay(result.trace);
+        for (unsigned filter = 0; filter <= 2; ++filter, ++i)
             row.push_back(TextTable::num(
-                bank.accuracy().overall().percent(), 1));
-        }
+                results[i].accuracy.overall().percent(), 1));
         table.addRow(row);
     }
     std::fputs(table.render().c_str(), stdout);
