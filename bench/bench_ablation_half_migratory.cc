@@ -53,7 +53,8 @@ main()
         table.addRow(
             {app, TextTable::num(std::uint64_t(hm.records.size())),
              TextTable::num(std::uint64_t(dg.records.size())),
-             (delta >= 0 ? "+" : "") + TextTable::num(delta, 1) + "%",
+             std::string(delta >= 0 ? "+" : "") +
+                 TextTable::num(delta, 1) + "%",
              TextTable::num(bank_hm.accuracy().overall().percent(), 1),
              TextTable::num(bank_dg.accuracy().overall().percent(),
                             1)});

@@ -33,8 +33,11 @@ main()
 
     TextTable table;
     std::vector<std::string> header = {"App"};
-    for (int c : checkpoints)
-        header.push_back("@" + std::to_string(c));
+    for (int c : checkpoints) {
+        std::string h = "@";
+        h += std::to_string(c);
+        header.push_back(std::move(h));
+    }
     table.setHeader(header);
 
     std::vector<std::vector<std::string>> csv_rows;

@@ -24,11 +24,16 @@ now_ms() { echo $(($(date +%s%N) / 1000000)); }
 
 for b in build/bench/bench_*; do
     start=$(now_ms)
-    if [[ "$(basename "$b")" == bench_microperf ]]; then
-        "$b" --benchmark_min_time=0.05 > /dev/null
-    else
-        "$b" > /dev/null
-    fi
+    case "$(basename "$b")" in
+        bench_microperf)
+            "$b" --benchmark_min_time=0.05 > /dev/null ;;
+        bench_predictor_throughput)
+            # Smoke only; the tracked run happens in Release below.
+            "$b" --min-seconds 0.05 \
+                 --out build/BENCH_predictor_throughput.json > /dev/null ;;
+        *)
+            "$b" > /dev/null ;;
+    esac
     echo "== $b ($(($(now_ms) - start)) ms)"
 done
 for e in build/examples/*; do
@@ -37,6 +42,21 @@ for e in build/examples/*; do
     "$e" > /dev/null
 done
 ./build/tools/cosmos list > /dev/null
+
+# Release-mode perf smoke (-O2 -DNDEBUG): the golden-gated throughput
+# bench replays the full Table 5/6 grid, fails the build on any
+# accuracy drift from tests/fixtures/golden_accuracy.hh, and publishes
+# its JSON so successive runs can be compared.
+# shellcheck disable=SC2046
+cmake -B build-release $(gen_for build-release) \
+    -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release --target bench_predictor_throughput
+mkdir -p artifacts
+start=$(now_ms)
+./build-release/bench/bench_predictor_throughput \
+    --out artifacts/BENCH_predictor_throughput.json
+echo "== release perf smoke ($(($(now_ms) - start)) ms)"
+echo "== artifact: artifacts/BENCH_predictor_throughput.json"
 
 # ThreadSanitizer pass over the parallel replay engine: the
 # determinism + ThreadPool + trace-cache concurrency tests must run

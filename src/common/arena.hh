@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bump-pointer arena allocator.
+ *
+ * The predictor hot path creates one small table per cache block; a
+ * general-purpose heap pays lock/metadata costs per node and scatters
+ * the blocks across memory. An Arena instead hands out pointers from
+ * geometrically-growing chunks: allocation is a pointer bump, locality
+ * follows allocation order, and everything is released at once when
+ * the arena dies. There is deliberately no per-allocation free --
+ * containers that rehash out of an arena simply abandon the old
+ * array, which costs at most the final footprint again (geometric
+ * series) and is the classic arena trade-off.
+ */
+
+#ifndef COSMOS_COMMON_ARENA_HH
+#define COSMOS_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace cosmos
+{
+
+/** A grow-only bump allocator; frees everything on destruction. */
+class Arena
+{
+  public:
+    Arena() = default;
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    ~Arena()
+    {
+        for (const Chunk &c : chunks_)
+            ::operator delete(c.mem);
+    }
+
+    /**
+     * Allocate @p bytes with the given power-of-two @p align.
+     * Never returns nullptr; memory is uninitialized.
+     */
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cur_);
+        std::uintptr_t aligned = (p + (align - 1)) & ~(align - 1);
+        const std::size_t pad = aligned - p;
+        if (cur_ == nullptr || pad + bytes > left_) {
+            refill(bytes + align);
+            p = reinterpret_cast<std::uintptr_t>(cur_);
+            aligned = (p + (align - 1)) & ~(align - 1);
+        }
+        const std::size_t consumed = (aligned - p) + bytes;
+        cur_ += consumed;
+        left_ -= consumed;
+        used_ += bytes;
+        return reinterpret_cast<void *>(aligned);
+    }
+
+    /** Bytes handed out so far (excluding padding and slack). */
+    std::size_t bytesUsed() const { return used_; }
+
+    /** Bytes reserved from the system heap. */
+    std::size_t
+    bytesReserved() const
+    {
+        std::size_t total = 0;
+        for (const Chunk &c : chunks_)
+            total += c.size;
+        return total;
+    }
+
+  private:
+    struct Chunk
+    {
+        void *mem;
+        std::size_t size;
+    };
+
+    void
+    refill(std::size_t at_least)
+    {
+        std::size_t size = nextChunk_;
+        if (size < at_least)
+            size = at_least;
+        if (nextChunk_ < max_chunk)
+            nextChunk_ *= 2;
+        void *mem = ::operator new(size);
+        chunks_.push_back({mem, size});
+        cur_ = static_cast<std::byte *>(mem);
+        left_ = size;
+    }
+
+    static constexpr std::size_t min_chunk = std::size_t{1} << 12;
+    static constexpr std::size_t max_chunk = std::size_t{1} << 22;
+
+    std::vector<Chunk> chunks_;
+    std::byte *cur_ = nullptr;
+    std::size_t left_ = 0;
+    std::size_t nextChunk_ = min_chunk;
+    std::size_t used_ = 0;
+};
+
+} // namespace cosmos
+
+#endif // COSMOS_COMMON_ARENA_HH

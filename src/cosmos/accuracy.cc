@@ -6,24 +6,6 @@ namespace cosmos::pred
 {
 
 void
-AccuracyTracker::record(proto::Role role, std::int32_t iteration,
-                        bool hit, bool had_prediction)
-{
-    if (!had_prediction)
-        ++coldMisses_;
-    overall_.record(hit);
-    if (role == proto::Role::cache)
-        cache_.record(hit);
-    else
-        directory_.record(hit);
-    if (iteration < 0)
-        iteration = 0;
-    if (byIteration_.size() <= static_cast<std::size_t>(iteration))
-        byIteration_.resize(iteration + 1);
-    byIteration_[iteration].record(hit);
-}
-
-void
 AccuracyTracker::merge(const AccuracyTracker &other)
 {
     overall_.merge(other.overall_);

@@ -30,9 +30,27 @@ class AccuracyTracker
      * Record one counted reference.
      * @param had_prediction false when the lookup found no stored
      *        pattern (a cold miss, counted as a miss).
+     *
+     * Inline: this runs once per counted trace record on the replay
+     * hot path.
      */
-    void record(proto::Role role, std::int32_t iteration, bool hit,
-                bool had_prediction = true);
+    void
+    record(proto::Role role, std::int32_t iteration, bool hit,
+           bool had_prediction = true)
+    {
+        if (!had_prediction)
+            ++coldMisses_;
+        overall_.record(hit);
+        if (role == proto::Role::cache)
+            cache_.record(hit);
+        else
+            directory_.record(hit);
+        if (iteration < 0)
+            iteration = 0;
+        if (byIteration_.size() <= static_cast<std::size_t>(iteration))
+            byIteration_.resize(iteration + 1);
+        byIteration_[iteration].record(hit);
+    }
 
     /**
      * Fold another tracker's counts into this one (sharded replay

@@ -17,17 +17,11 @@ ArcReport::format() const
 }
 
 void
-ArcStats::record(proto::MsgType from, proto::MsgType to, bool hit)
-{
-    arcs_[{from, to}].record(hit);
-    ++totalRefs_;
-}
-
-void
 ArcStats::merge(const ArcStats &other)
 {
-    for (const auto &[key, ratio] : other.arcs_)
-        arcs_[key].merge(ratio);
+    for (unsigned f = 0; f < proto::num_msg_types; ++f)
+        for (unsigned t = 0; t < proto::num_msg_types; ++t)
+            arcs_[f][t].merge(other.arcs_[f][t]);
     totalRefs_ += other.totalRefs_;
 }
 
@@ -35,19 +29,25 @@ std::vector<ArcReport>
 ArcStats::dominantArcs(double min_ref_percent) const
 {
     std::vector<ArcReport> out;
-    for (const auto &[key, ratio] : arcs_) {
-        ArcReport r;
-        r.from = key.first;
-        r.to = key.second;
-        r.refs = ratio.total;
-        r.hits = ratio.hits;
-        r.hitPercent = ratio.percent();
-        r.refPercent = totalRefs_ == 0
-                           ? 0.0
-                           : 100.0 * static_cast<double>(ratio.total) /
-                                 static_cast<double>(totalRefs_);
-        if (r.refPercent >= min_ref_percent)
-            out.push_back(r);
+    for (unsigned f = 0; f < proto::num_msg_types; ++f) {
+        for (unsigned t = 0; t < proto::num_msg_types; ++t) {
+            const HitRatio &ratio = arcs_[f][t];
+            if (ratio.total == 0)
+                continue; // never-seen arc, not a report row
+            ArcReport r;
+            r.from = static_cast<proto::MsgType>(f);
+            r.to = static_cast<proto::MsgType>(t);
+            r.refs = ratio.total;
+            r.hits = ratio.hits;
+            r.hitPercent = ratio.percent();
+            r.refPercent =
+                totalRefs_ == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(ratio.total) /
+                          static_cast<double>(totalRefs_);
+            if (r.refPercent >= min_ref_percent)
+                out.push_back(r);
+        }
     }
     std::sort(out.begin(), out.end(),
               [](const ArcReport &a, const ArcReport &b) {
@@ -59,14 +59,15 @@ ArcStats::dominantArcs(double min_ref_percent) const
 ArcReport
 ArcStats::arc(proto::MsgType from, proto::MsgType to) const
 {
-    auto it = arcs_.find({from, to});
+    const HitRatio &ratio =
+        arcs_[static_cast<unsigned>(from)][static_cast<unsigned>(to)];
     ArcReport r;
     r.from = from;
     r.to = to;
-    if (it != arcs_.end()) {
-        r.refs = it->second.total;
-        r.hits = it->second.hits;
-        r.hitPercent = it->second.percent();
+    if (ratio.total != 0) {
+        r.refs = ratio.total;
+        r.hits = ratio.hits;
+        r.hitPercent = ratio.percent();
         r.refPercent = totalRefs_ == 0
                            ? 0.0
                            : 100.0 * static_cast<double>(r.refs) /

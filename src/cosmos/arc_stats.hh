@@ -12,8 +12,8 @@
 #ifndef COSMOS_COSMOS_ARC_STATS_HH
 #define COSMOS_COSMOS_ARC_STATS_HH
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -41,7 +41,13 @@ class ArcStats
 {
   public:
     /** Record a counted reference on arc @p from -> @p to. */
-    void record(proto::MsgType from, proto::MsgType to, bool hit);
+    void
+    record(proto::MsgType from, proto::MsgType to, bool hit)
+    {
+        arcs_[static_cast<unsigned>(from)][static_cast<unsigned>(to)]
+            .record(hit);
+        ++totalRefs_;
+    }
 
     /**
      * Fold another accumulator's arcs into this one (sharded replay
@@ -64,7 +70,12 @@ class ArcStats
     ArcReport arc(proto::MsgType from, proto::MsgType to) const;
 
   private:
-    std::map<std::pair<proto::MsgType, proto::MsgType>, HitRatio> arcs_;
+    /** Dense (from, to) grid: the type space is tiny, so the hot
+     *  record() is a direct index instead of a tree lookup. Row-major
+     *  iteration reproduces the old std::map<pair> walk order. */
+    std::array<std::array<HitRatio, proto::num_msg_types>,
+               proto::num_msg_types>
+        arcs_{};
     std::uint64_t totalRefs_ = 0;
 };
 

@@ -12,68 +12,21 @@ CosmosPredictor::CosmosPredictor(const CosmosConfig &cfg) : cfg_(cfg)
                   cfg.depth);
 }
 
-std::optional<MsgTuple>
-CosmosPredictor::predict(Addr block) const
+void
+CosmosPredictor::evictForBudget(BlockState &st, std::uint64_t key)
 {
-    auto bit = blocks_.find(block);
-    if (bit == blocks_.end())
-        return std::nullopt;
-    const BlockState &st = bit->second;
-    if (st.mhr.size() < cfg_.depth)
-        return std::nullopt;
-    auto pit = st.pht.find(encodePattern(st.mhr));
-    if (pit == st.pht.end())
-        return std::nullopt;
-    return pit->second.prediction;
-}
-
-ObserveResult
-CosmosPredictor::observe(Addr block, MsgTuple actual)
-{
-    BlockState &st = blocks_[block];
-    ObserveResult res;
-
-    if (st.mhr.size() == cfg_.depth) {
-        // A lookup is possible: this arrival counts as a reference.
-        res.counted = true;
-        const std::uint64_t key = encodePattern(st.mhr);
-        auto pit = st.pht.find(key);
-        if (pit != st.pht.end()) {
-            PhtEntry &e = pit->second;
-            res.hadPrediction = true;
-            res.predicted = e.prediction;
-            res.hit = (e.prediction == actual);
-            if (res.hit) {
-                e.counter = 0;
-            } else if (e.counter >= cfg_.filterMax) {
-                // Filter exhausted: adopt the new tuple (§3.6).
-                e.prediction = actual;
-                e.counter = 0;
-            } else {
-                ++e.counter;
-            }
-        } else {
-            // First time this pattern is seen: learn it, evicting
-            // the oldest pattern if the hardware budget is full.
-            if (cfg_.maxPhtPerBlock > 0) {
-                while (st.pht.size() >= cfg_.maxPhtPerBlock &&
-                       !st.phtOrder.empty()) {
-                    const std::uint64_t victim = st.phtOrder.front();
-                    st.phtOrder.pop_front();
-                    st.pht.erase(victim); // no-op on stale keys
-                }
-                st.phtOrder.push_back(key);
-            }
-            st.pht.emplace(key, PhtEntry{actual, 0});
-        }
+    if (st.fifo == nullptr) {
+        st.fifo = static_cast<std::uint64_t *>(
+            arena_.allocate(cfg_.maxPhtPerBlock * sizeof(std::uint64_t),
+                            alignof(std::uint64_t)));
     }
-
-    // Left-shift the actual tuple into the MHR (§3.4).
-    st.mhr.push_back(actual);
-    if (st.mhr.size() > cfg_.depth)
-        st.mhr.erase(st.mhr.begin());
-
-    return res;
+    while (st.fifoSize >= cfg_.maxPhtPerBlock) {
+        st.pht.erase(st.fifo[st.fifoHead]);
+        st.fifoHead = (st.fifoHead + 1) % cfg_.maxPhtPerBlock;
+        --st.fifoSize;
+    }
+    st.fifo[(st.fifoHead + st.fifoSize) % cfg_.maxPhtPerBlock] = key;
+    ++st.fifoSize;
 }
 
 CosmosFootprint
@@ -81,17 +34,17 @@ CosmosPredictor::footprint() const
 {
     CosmosFootprint f;
     f.mhrEntries = blocks_.size();
-    for (const auto &[block, st] : blocks_)
+    blocks_.forEach([&f](Addr, const BlockState &st) {
         f.phtEntries += st.pht.size();
+    });
     return f;
 }
 
 std::vector<MsgTuple>
 CosmosPredictor::history(Addr block) const
 {
-    auto it = blocks_.find(block);
-    return it == blocks_.end() ? std::vector<MsgTuple>{}
-                               : it->second.mhr;
+    const BlockState *st = blocks_.find(block);
+    return st == nullptr ? std::vector<MsgTuple>{} : st->mhr.decode();
 }
 
 } // namespace cosmos::pred

@@ -14,16 +14,23 @@
  *
  * Following the Table 7 accounting, a PHT materializes for a block
  * only once the block has received more messages than the MHR depth.
+ *
+ * Data layout (see docs/ARCHITECTURE.md "Hot path & data layout"):
+ * the MHR is a single packed 64-bit word (PackedMhr) whose contents
+ * double as the PHT key; both the block table and every per-block PHT
+ * are open-addressing FlatMaps whose slot arrays live in a per-
+ * predictor Arena, so replaying a trace costs O(distinct blocks)
+ * allocations rather than O(messages).
  */
 
 #ifndef COSMOS_COSMOS_COSMOS_PREDICTOR_HH
 #define COSMOS_COSMOS_COSMOS_PREDICTOR_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/flat_map.hh"
 #include "cosmos/predictor.hh"
 #include "cosmos/tuple.hh"
 
@@ -79,17 +86,92 @@ class CosmosPredictor : public MessagePredictor
 
     struct BlockState
     {
-        /** MHR: oldest tuple at front, newest at back. */
-        std::vector<MsgTuple> mhr;
-        std::unordered_map<std::uint64_t, PhtEntry> pht;
-        /** Insertion order of PHT keys (only used with a capacity
-         *  bound; may contain stale keys of evicted entries). */
-        std::deque<std::uint64_t> phtOrder;
+        explicit BlockState(Arena *arena) : pht(arena) {}
+
+        /** MHR packed at 16 bits/tuple; its word is the PHT key. */
+        PackedMhr mhr;
+        FlatMap<std::uint64_t, PhtEntry> pht;
+        /** Last message type received for this block (arc stats). */
+        proto::MsgType lastType{};
+        bool hasLastType = false;
+        /** FIFO ring of the live PHT keys in insertion order; only
+         *  allocated (from the arena) with a capacity bound. */
+        std::uint64_t *fifo = nullptr;
+        std::uint32_t fifoHead = 0;
+        std::uint32_t fifoSize = 0;
     };
 
+    /** Cold path: drop the oldest pattern(s) and record @p key in the
+     *  FIFO ring once the per-block hardware budget is reached. */
+    void evictForBudget(BlockState &st, std::uint64_t key);
+
     CosmosConfig cfg_;
-    std::unordered_map<Addr, BlockState> blocks_;
+    /** Backs every FlatMap slot array and FIFO ring below; declared
+     *  first so it outlives the tables during destruction. */
+    Arena arena_;
+    FlatMap<Addr, BlockState> blocks_{&arena_};
 };
+
+// observe() and predict() are defined inline: PredictorBank's replay
+// loop devirtualizes its calls for Cosmos banks, and inlining them
+// there removes a cross-TU call per replayed message.
+
+inline std::optional<MsgTuple>
+CosmosPredictor::predict(Addr block) const
+{
+    const BlockState *st = blocks_.find(block);
+    if (st == nullptr || !st->mhr.full(cfg_.depth))
+        return std::nullopt;
+    const PhtEntry *e = st->pht.find(st->mhr.key());
+    if (e == nullptr)
+        return std::nullopt;
+    return e->prediction;
+}
+
+inline ObserveResult
+CosmosPredictor::observe(Addr block, MsgTuple actual)
+{
+    BlockState &st = blocks_.obtain(block, &arena_);
+    ObserveResult res;
+
+    if (st.mhr.full(cfg_.depth)) {
+        // A lookup is possible: this arrival counts as a reference.
+        res.counted = true;
+        const std::uint64_t key = st.mhr.key();
+        if (PhtEntry *e = st.pht.find(key)) {
+            res.hadPrediction = true;
+            res.predicted = e->prediction;
+            res.hit = (e->prediction == actual);
+            if (res.hit) {
+                e->counter = 0;
+            } else if (e->counter >= cfg_.filterMax) {
+                // Filter exhausted: adopt the new tuple (§3.6).
+                e->prediction = actual;
+                e->counter = 0;
+            } else {
+                ++e->counter;
+            }
+        } else {
+            // First time this pattern is seen: learn it, evicting
+            // the oldest pattern if the hardware budget is full.
+            if (cfg_.maxPhtPerBlock > 0)
+                evictForBudget(st, key);
+            st.pht.insert(key, PhtEntry{actual, 0});
+        }
+    }
+
+    // Left-shift the actual tuple into the MHR (§3.4).
+    st.mhr.push(actual, cfg_.depth);
+
+    // Hand the previous message type back for arc statistics, saving
+    // the caller a separate per-block table.
+    res.hadPrevType = st.hasLastType;
+    res.prevType = st.lastType;
+    st.lastType = actual.type;
+    st.hasLastType = true;
+
+    return res;
+}
 
 } // namespace cosmos::pred
 

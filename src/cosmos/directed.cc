@@ -36,16 +36,16 @@ MigratoryPredictor::predictFor(const BlockState &st) const
 std::optional<MsgTuple>
 MigratoryPredictor::predict(Addr block) const
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    const BlockState *st = blocks_.find(block);
+    if (st == nullptr)
         return std::nullopt;
-    return predictFor(it->second);
+    return predictFor(*st);
 }
 
 ObserveResult
 MigratoryPredictor::observe(Addr block, MsgTuple actual)
 {
-    BlockState &st = blocks_[block];
+    BlockState &st = blocks_.obtain(block);
     ObserveResult res;
     if (st.seenAny) {
         res.counted = true;
@@ -87,9 +87,10 @@ std::uint64_t
 MigratoryPredictor::migratoryBlocks() const
 {
     std::uint64_t n = 0;
-    for (const auto &[block, st] : blocks_)
+    blocks_.forEach([&n](Addr, const BlockState &st) {
         if (st.migratory)
             ++n;
+    });
     return n;
 }
 
@@ -113,16 +114,16 @@ DsiPredictor::predictFor(const BlockState &st) const
 std::optional<MsgTuple>
 DsiPredictor::predict(Addr block) const
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    const BlockState *st = blocks_.find(block);
+    if (st == nullptr)
         return std::nullopt;
-    return predictFor(it->second);
+    return predictFor(*st);
 }
 
 ObserveResult
 DsiPredictor::observe(Addr block, MsgTuple actual)
 {
-    BlockState &st = blocks_[block];
+    BlockState &st = blocks_.obtain(block);
     ObserveResult res;
     if (st.seenAny) {
         res.counted = true;
@@ -161,9 +162,10 @@ std::uint64_t
 DsiPredictor::selfInvalBlocks() const
 {
     std::uint64_t n = 0;
-    for (const auto &[block, st] : blocks_)
+    blocks_.forEach([&n](Addr, const BlockState &st) {
         if (st.marked)
             ++n;
+    });
     return n;
 }
 

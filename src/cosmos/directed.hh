@@ -13,8 +13,7 @@
 #ifndef COSMOS_COSMOS_DIRECTED_HH
 #define COSMOS_COSMOS_DIRECTED_HH
 
-#include <unordered_map>
-
+#include "common/flat_map.hh"
 #include "cosmos/predictor.hh"
 
 namespace cosmos::pred
@@ -57,7 +56,7 @@ class MigratoryPredictor : public MessagePredictor
 
     std::optional<MsgTuple> predictFor(const BlockState &st) const;
 
-    std::unordered_map<Addr, BlockState> blocks_;
+    FlatMap<Addr, BlockState> blocks_;
 };
 
 /**
@@ -91,7 +90,7 @@ class DsiPredictor : public MessagePredictor
 
     std::optional<MsgTuple> predictFor(const BlockState &st) const;
 
-    std::unordered_map<Addr, BlockState> blocks_;
+    FlatMap<Addr, BlockState> blocks_;
 };
 
 } // namespace cosmos::pred

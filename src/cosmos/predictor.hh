@@ -33,6 +33,15 @@ struct ObserveResult
      * was possible; for Cosmos: the MHR was full).
      */
     bool counted = false;
+    /**
+     * Type of the previous message this module received for the same
+     * block (valid iff hadPrevType). Predictors that track per-block
+     * state fill this in so the caller's arc statistics need no
+     * second table probe; predictors that don't leave hadPrevType
+     * false and the caller falls back to its own bookkeeping.
+     */
+    bool hadPrevType = false;
+    proto::MsgType prevType{};
 };
 
 /** Abstract per-module message predictor. */

@@ -47,8 +47,31 @@ PredictorBank::predictor(NodeId n, proto::Role role) const
 void
 PredictorBank::observe(const trace::TraceRecord &r)
 {
-    MessagePredictor &p = predictor(r.receiver, r.role);
+    MessagePredictor &p = *predictors_[index(r.receiver, r.role)];
     const MsgTuple actual{r.sender, r.type};
+
+    if (cosmosDepth_ != 0) {
+        // Cosmos banks are homogeneous, so the call devirtualizes;
+        // the qualified call inlines the header definition of
+        // CosmosPredictor::observe into the replay loop, and the
+        // predictor's own block state supplies the previous message
+        // type -- no separate lastType_ probe.
+        const ObserveResult res =
+            static_cast<CosmosPredictor &>(p).CosmosPredictor::observe(
+                r.block, actual);
+        if (res.counted) {
+            accuracy_.record(r.role, r.iteration, res.hit,
+                             res.hadPrediction);
+            if (res.hadPrevType) {
+                ArcStats &arcs = r.role == proto::Role::cache
+                                     ? cacheArcs_
+                                     : dirArcs_;
+                arcs.record(res.prevType, r.type, res.hit);
+            }
+        }
+        return;
+    }
+
     const ObserveResult res = p.observe(r.block, actual);
 
     const std::uint64_t last_key =
@@ -58,17 +81,22 @@ PredictorBank::observe(const trace::TraceRecord &r)
          << 40) |
         r.block;
 
+    // One probe covers both uses: the previous type feeds the arc
+    // statistics, then the slot is updated in place.
+    proto::MsgType *lt = lastType_.find(last_key);
     if (res.counted) {
         accuracy_.record(r.role, r.iteration, res.hit,
                          res.hadPrediction);
-        auto it = lastType_.find(last_key);
-        if (it != lastType_.end()) {
+        if (lt != nullptr) {
             ArcStats &arcs = r.role == proto::Role::cache ? cacheArcs_
                                                           : dirArcs_;
-            arcs.record(it->second, r.type, res.hit);
+            arcs.record(*lt, r.type, res.hit);
         }
     }
-    lastType_[last_key] = r.type;
+    if (lt != nullptr)
+        *lt = r.type;
+    else
+        lastType_.insert(last_key, r.type);
 }
 
 void

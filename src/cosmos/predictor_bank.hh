@@ -19,9 +19,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "cosmos/accuracy.hh"
 #include "cosmos/arc_stats.hh"
 #include "cosmos/cosmos_predictor.hh"
@@ -91,7 +91,7 @@ class PredictorBank
     ArcStats dirArcs_;
     /// last incoming message type per (node, role, block), feeding
     /// the arc statistics.
-    std::unordered_map<std::uint64_t, proto::MsgType> lastType_;
+    FlatMap<std::uint64_t, proto::MsgType> lastType_;
 };
 
 } // namespace cosmos::pred

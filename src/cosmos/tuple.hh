@@ -80,6 +80,62 @@ encodePattern(const std::vector<MsgTuple> &pattern)
     return key;
 }
 
+/**
+ * A Message History Register packed into one 64-bit word: the last
+ * `depth` tuples at 16 bits each, oldest in the highest-order lane.
+ *
+ * The packing *is* the PHT key: key() equals
+ * encodePattern(history oldest-first) whenever the register is full,
+ * so a predictor update is one shift+mask instead of a vector
+ * rotation plus re-encoding loop.
+ */
+class PackedMhr
+{
+  public:
+    /** Shift @p t in as the newest tuple; the oldest falls out once
+     *  `depth` tuples are held. */
+    void
+    push(MsgTuple t, unsigned depth)
+    {
+        bits_ = ((bits_ << 16) | t.encode()) & laneMask(depth);
+        if (count_ < depth)
+            ++count_;
+    }
+
+    /** True once `depth` tuples have been observed. */
+    bool full(unsigned depth) const { return count_ >= depth; }
+
+    /** Tuples currently held (saturates at the push depth). */
+    unsigned size() const { return count_; }
+
+    /** The PHT key; equals encodePattern(decode()) when full. */
+    std::uint64_t key() const { return bits_; }
+
+    /** Unpack to tuples, oldest first. */
+    std::vector<MsgTuple>
+    decode() const
+    {
+        std::vector<MsgTuple> out;
+        out.reserve(count_);
+        for (unsigned i = 0; i < count_; ++i)
+            out.push_back(MsgTuple::decode(static_cast<std::uint16_t>(
+                bits_ >> (16 * (count_ - 1 - i)))));
+        return out;
+    }
+
+  private:
+    static std::uint64_t
+    laneMask(unsigned depth)
+    {
+        return depth >= max_mhr_depth
+                   ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << (16 * depth)) - 1;
+    }
+
+    std::uint64_t bits_ = 0;
+    std::uint8_t count_ = 0;
+};
+
 } // namespace cosmos::pred
 
 #endif // COSMOS_COSMOS_TUPLE_HH

@@ -8,25 +8,24 @@ namespace cosmos::pred
 std::optional<MsgTuple>
 LastValuePredictor::predict(Addr block) const
 {
-    auto it = last_.find(block);
-    if (it == last_.end())
+    const MsgTuple *t = last_.find(block);
+    if (t == nullptr)
         return std::nullopt;
-    return it->second;
+    return *t;
 }
 
 ObserveResult
 LastValuePredictor::observe(Addr block, MsgTuple actual)
 {
     ObserveResult res;
-    auto it = last_.find(block);
-    if (it != last_.end()) {
+    if (MsgTuple *t = last_.find(block)) {
         res.counted = true;
         res.hadPrediction = true;
-        res.predicted = it->second;
-        res.hit = (it->second == actual);
-        it->second = actual;
+        res.predicted = *t;
+        res.hit = (*t == actual);
+        *t = actual;
     } else {
-        last_.emplace(block, actual);
+        last_.insert(block, actual);
     }
     return res;
 }
@@ -87,70 +86,66 @@ SenderSetPredictor::SenderSetPredictor(const CosmosConfig &cfg)
 std::optional<MsgTuple>
 SenderSetPredictor::predict(Addr block) const
 {
-    auto bit = blocks_.find(block);
-    if (bit == blocks_.end() || bit->second.mhr.size() < cfg_.depth)
+    const BlockState *st = blocks_.find(block);
+    if (st == nullptr || !st->mhr.full(cfg_.depth))
         return std::nullopt;
-    auto pit = bit->second.pht.find(encodePattern(bit->second.mhr));
-    if (pit == bit->second.pht.end())
+    const PhtEntry *e = st->pht.find(st->mhr.key());
+    if (e == nullptr)
         return std::nullopt;
-    return MsgTuple{pit->second.lastSender, pit->second.type};
+    return MsgTuple{e->lastSender, e->type};
 }
 
 std::uint64_t
 SenderSetPredictor::setFor(Addr block) const
 {
-    auto bit = blocks_.find(block);
-    if (bit == blocks_.end() || bit->second.mhr.size() < cfg_.depth)
+    const BlockState *st = blocks_.find(block);
+    if (st == nullptr || !st->mhr.full(cfg_.depth))
         return 0;
-    auto pit = bit->second.pht.find(encodePattern(bit->second.mhr));
-    return pit == bit->second.pht.end() ? 0 : pit->second.senders;
+    const PhtEntry *e = st->pht.find(st->mhr.key());
+    return e == nullptr ? 0 : e->senders;
 }
 
 ObserveResult
 SenderSetPredictor::observe(Addr block, MsgTuple actual)
 {
-    BlockState &st = blocks_[block];
+    BlockState &st = blocks_.obtain(block, &arena_);
     ObserveResult res;
-    if (st.mhr.size() == cfg_.depth) {
+    if (st.mhr.full(cfg_.depth)) {
         res.counted = true;
-        const std::uint64_t key = encodePattern(st.mhr);
-        auto pit = st.pht.find(key);
-        if (pit != st.pht.end()) {
-            PhtEntry &e = pit->second;
+        const std::uint64_t key = st.mhr.key();
+        if (PhtEntry *e = st.pht.find(key)) {
             res.hadPrediction = true;
-            res.predicted = MsgTuple{e.lastSender, e.type};
+            res.predicted = MsgTuple{e->lastSender, e->type};
             const bool sender_in_set =
                 actual.sender < 64 &&
-                (e.senders & (std::uint64_t{1} << actual.sender));
-            res.hit = e.type == actual.type && sender_in_set;
+                (e->senders & (std::uint64_t{1} << actual.sender));
+            res.hit = e->type == actual.type && sender_in_set;
             setSizeSum_ += static_cast<std::uint64_t>(
-                std::popcount(e.senders));
+                std::popcount(e->senders));
             ++setSamples_;
-            if (e.type == actual.type) {
+            if (e->type == actual.type) {
                 // Grow the set; keep the set only while the type is
                 // stable.
                 if (actual.sender < 64)
-                    e.senders |= std::uint64_t{1} << actual.sender;
+                    e->senders |= std::uint64_t{1} << actual.sender;
             } else {
-                e.type = actual.type;
-                e.senders = actual.sender < 64
+                e->type = actual.type;
+                e->senders = actual.sender < 64
+                                 ? std::uint64_t{1} << actual.sender
+                                 : 0;
+            }
+            e->lastSender = actual.sender;
+        } else {
+            PhtEntry fresh;
+            fresh.type = actual.type;
+            fresh.senders = actual.sender < 64
                                 ? std::uint64_t{1} << actual.sender
                                 : 0;
-            }
-            e.lastSender = actual.sender;
-        } else {
-            PhtEntry e;
-            e.type = actual.type;
-            e.senders = actual.sender < 64
-                            ? std::uint64_t{1} << actual.sender
-                            : 0;
-            e.lastSender = actual.sender;
-            st.pht.emplace(key, e);
+            fresh.lastSender = actual.sender;
+            st.pht.insert(key, fresh);
         }
     }
-    st.mhr.push_back(actual);
-    if (st.mhr.size() > cfg_.depth)
-        st.mhr.erase(st.mhr.begin());
+    st.mhr.push(actual, cfg_.depth);
     return res;
 }
 

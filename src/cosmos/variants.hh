@@ -27,8 +27,8 @@
 #ifndef COSMOS_COSMOS_VARIANTS_HH
 #define COSMOS_COSMOS_VARIANTS_HH
 
-#include <unordered_map>
-
+#include "common/arena.hh"
+#include "common/flat_map.hh"
 #include "common/log.hh"
 #include "cosmos/cosmos_predictor.hh"
 #include "cosmos/predictor.hh"
@@ -44,7 +44,7 @@ class LastValuePredictor : public MessagePredictor
     ObserveResult observe(Addr block, MsgTuple actual) override;
 
   private:
-    std::unordered_map<Addr, MsgTuple> last_;
+    FlatMap<Addr, MsgTuple> last_;
 };
 
 /** Cosmos over macroblocks of 2^k consecutive cache blocks. */
@@ -134,12 +134,15 @@ class SenderSetPredictor : public MessagePredictor
 
     struct BlockState
     {
-        std::vector<MsgTuple> mhr;
-        std::unordered_map<std::uint64_t, PhtEntry> pht;
+        explicit BlockState(Arena *arena) : pht(arena) {}
+
+        PackedMhr mhr;
+        FlatMap<std::uint64_t, PhtEntry> pht;
     };
 
     CosmosConfig cfg_;
-    std::unordered_map<Addr, BlockState> blocks_;
+    Arena arena_;
+    FlatMap<Addr, BlockState> blocks_{&arena_};
     std::uint64_t setSizeSum_ = 0;
     std::uint64_t setSamples_ = 0;
 };

@@ -1,10 +1,10 @@
 #include "harness/trace_cache.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <mutex>
-#include <sstream>
 
 #include "common/log.hh"
 #include "trace/trace_io.hh"
@@ -36,11 +36,16 @@ std::string
 cacheKey(const std::string &app, int iterations, OwnerReadPolicy policy,
          std::uint64_t seed)
 {
-    std::ostringstream os;
-    os << app << "_it" << iterations << "_"
-       << (policy == OwnerReadPolicy::half_migratory ? "hm" : "dg")
-       << "_s" << std::hex << seed;
-    return os.str();
+    // Same format the old ostringstream produced (lowercase hex seed,
+    // no leading zeros) so on-disk COSMOS_TRACE_CACHE entries stay
+    // valid, but one snprintf instead of a stream: this runs under
+    // the cache map mutex on every fetch.
+    char suffix[48];
+    std::snprintf(suffix, sizeof(suffix), "_it%d_%s_s%llx", iterations,
+                  policy == OwnerReadPolicy::half_migratory ? "hm"
+                                                            : "dg",
+                  static_cast<unsigned long long>(seed));
+    return app + suffix;
 }
 
 } // namespace

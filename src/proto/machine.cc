@@ -11,6 +11,10 @@ Machine::Machine(const MachineConfig &cfg)
                cfg.networkInterfaceLatency)
 {
     cfg_.validate();
+    // Each node keeps a handful of events in flight (network hops,
+    // controller occupancy, processor steps); pre-sizing the heap
+    // keeps the first iterations from growing it repeatedly.
+    eq_.reserve(std::size_t{64} * cfg_.numNodes);
     auto send = [this](const Msg &m) {
         network_.send(m.src, m.dst, m);
     };

@@ -21,18 +21,26 @@ EventQueue::scheduleAfter(Tick delay, EventFn fn)
     scheduleAt(now_ + delay, std::move(fn));
 }
 
+void
+EventQueue::reserve(std::size_t n)
+{
+    heap_.c.reserve(n);
+}
+
 bool
 EventQueue::runOne()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top returns const&; move out via const_cast is
-    // not worth it -- copy the (small) function object instead.
-    Entry e = heap_.top();
+    // top() is const&, but moving the callback out is safe: the
+    // comparator orders on (when, seq) only, and pop() runs before
+    // anything can observe the moved-from fn.
+    Entry &top = const_cast<Entry &>(heap_.top());
+    now_ = top.when;
+    EventFn fn = std::move(top.fn);
     heap_.pop();
-    now_ = e.when;
     ++executed_;
-    e.fn();
+    fn();
     return true;
 }
 

@@ -48,6 +48,9 @@ class EventQueue
     /** Schedule @p fn to run @p delay ticks from now. */
     void scheduleAfter(Tick delay, EventFn fn);
 
+    /** Pre-size the backing heap for @p n pending events. */
+    void reserve(std::size_t n);
+
     /** Fire the earliest event. @return false if the queue was empty. */
     bool runOne();
 
@@ -82,7 +85,17 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** priority_queue with its backing vector exposed, so runOne()
+     *  can move the callback out of top() and reserve() can pre-size
+     *  the storage. The comparator never reads `fn`, so a moved-from
+     *  callback cannot perturb heap order. */
+    struct Heap : std::priority_queue<Entry, std::vector<Entry>, Later>
+    {
+        using std::priority_queue<Entry, std::vector<Entry>,
+                                  Later>::c;
+    };
+
+    Heap heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

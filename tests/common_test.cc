@@ -7,11 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/addr.hh"
+#include "common/arena.hh"
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -221,6 +227,182 @@ TEST(Config, SummaryMentionsPolicy)
     EXPECT_NE(cfg.summary().find("half-migratory"), std::string::npos);
     cfg.ownerReadPolicy = OwnerReadPolicy::downgrade;
     EXPECT_NE(cfg.summary().find("downgrade"), std::string::npos);
+}
+
+TEST(Arena, AllocationsAreAlignedAndAccounted)
+{
+    Arena arena;
+    EXPECT_EQ(arena.bytesUsed(), 0u);
+    void *a = arena.allocate(3, 1);
+    void *b = arena.allocate(8, 8);
+    void *c = arena.allocate(64, 64);
+    EXPECT_NE(a, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+    EXPECT_GE(arena.bytesUsed(), 3u + 8u + 64u);
+    EXPECT_GE(arena.bytesReserved(), arena.bytesUsed());
+}
+
+TEST(Arena, GrowsAcrossChunkBoundaries)
+{
+    Arena arena;
+    // Far more than the first chunk; every allocation must be usable.
+    std::vector<std::uint32_t *> ptrs;
+    for (int i = 0; i < 10000; ++i) {
+        auto *p = static_cast<std::uint32_t *>(
+            arena.allocate(sizeof(std::uint32_t),
+                           alignof(std::uint32_t)));
+        *p = static_cast<std::uint32_t>(i);
+        ptrs.push_back(p);
+    }
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(*ptrs[i], static_cast<std::uint32_t>(i));
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), nullptr);
+    m.insert(42, 1);
+    m.insert(43, 2);
+    ASSERT_NE(m.find(42), nullptr);
+    EXPECT_EQ(*m.find(42), 1);
+    EXPECT_EQ(*m.find(43), 2);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_TRUE(m.erase(42));
+    EXPECT_FALSE(m.erase(42));
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_EQ(*m.find(43), 2);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, ObtainConstructsOnceThenFinds)
+{
+    FlatMap<std::uint64_t, int> m;
+    int &v = m.obtain(7, 11);
+    EXPECT_EQ(v, 11);
+    v = 99;
+    EXPECT_EQ(m.obtain(7, 11), 99); // existing entry, args ignored
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, GrowthKeepsEveryEntry)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t k = 0; k < 5000; ++k)
+        m.insert(k * 64, k); // block-aligned, low-entropy keys
+    EXPECT_EQ(m.size(), 5000u);
+    // Power-of-two capacity under the 7/8 load limit.
+    EXPECT_EQ(m.capacity() & (m.capacity() - 1), 0u);
+    EXPECT_GE(m.capacity() * 7, m.size() * 8);
+    for (std::uint64_t k = 0; k < 5000; ++k) {
+        auto *v = m.find(k * 64);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, k);
+    }
+}
+
+TEST(FlatMap, ForEachVisitsExactlyTheLiveEntries)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m.insert(k, static_cast<int>(k));
+    for (std::uint64_t k = 0; k < 100; k += 2)
+        m.erase(k);
+    std::set<std::uint64_t> seen;
+    m.forEach([&](const std::uint64_t &k, int v) {
+        EXPECT_EQ(v, static_cast<int>(k));
+        seen.insert(k);
+    });
+    EXPECT_EQ(seen.size(), 50u);
+    for (std::uint64_t k : seen)
+        EXPECT_EQ(k % 2, 1u);
+}
+
+TEST(FlatMap, RandomizedAgainstUnorderedMap)
+{
+    // Churn with erases exercises the backward-shift deletion; the
+    // reference container defines the truth at every step.
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::mt19937_64 rng(0xc05305);
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t key = rng() % 512; // dense: many collisions
+        switch (rng() % 3) {
+        case 0: // insert or overwrite
+            if (auto *v = m.find(key))
+                *v = static_cast<std::uint64_t>(step);
+            else
+                m.insert(key, static_cast<std::uint64_t>(step));
+            ref[key] = static_cast<std::uint64_t>(step);
+            break;
+        case 1: // erase
+            EXPECT_EQ(m.erase(key), ref.erase(key) == 1);
+            break;
+        default: { // lookup
+            auto *v = m.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, it->second);
+            }
+            break;
+        }
+        }
+        EXPECT_EQ(m.size(), ref.size());
+    }
+    m.forEach([&](const std::uint64_t &k, std::uint64_t v) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+    });
+}
+
+TEST(FlatMap, ArenaBackedTablesBumpAllocate)
+{
+    Arena arena;
+    FlatMap<std::uint64_t, std::uint64_t> m(&arena);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m.insert(k, k);
+    EXPECT_GT(arena.bytesUsed(), 0u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        ASSERT_NE(m.find(k), nullptr);
+        EXPECT_EQ(*m.find(k), k);
+    }
+}
+
+TEST(FlatMap, MoveTransfersOwnership)
+{
+    FlatMap<std::uint64_t, int> a;
+    a.insert(1, 10);
+    a.insert(2, 20);
+    FlatMap<std::uint64_t, int> b(std::move(a));
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(*b.find(1), 10);
+    FlatMap<std::uint64_t, int> c;
+    c.insert(9, 90);
+    c = std::move(b);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(*c.find(2), 20);
+    EXPECT_EQ(c.find(9), nullptr);
+}
+
+TEST(FlatMap, ClearEmptiesButKeepsCapacity)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        m.insert(k, 1);
+    const std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(5), nullptr);
+    m.insert(5, 2);
+    EXPECT_EQ(*m.find(5), 2);
 }
 
 } // namespace

@@ -343,5 +343,67 @@ TEST(Bank, ReplayRespectsIterationCap)
     EXPECT_EQ(bank.accuracy().overall().total, 4u);
 }
 
+TEST(PackedMhr, KeyMatchesEncodePatternAtEveryDepth)
+{
+    // The packed word must equal the reference vector encoding after
+    // every push, for every supported depth.
+    const std::vector<MsgTuple> stream = {
+        tup(1, MsgType::get_ro_request),
+        tup(2, MsgType::get_ro_response),
+        tup(3, MsgType::get_rw_request),
+        tup(1, MsgType::inval_ro_request),
+        tup(4, MsgType::inval_ro_response),
+        tup(2, MsgType::get_ro_response),
+        tup(5, MsgType::upgrade_request)};
+    for (unsigned depth = 1; depth <= max_mhr_depth; ++depth) {
+        PackedMhr mhr;
+        std::vector<MsgTuple> window; // reference: last `depth` tuples
+        for (const MsgTuple &t : stream) {
+            mhr.push(t, depth);
+            window.push_back(t);
+            if (window.size() > depth)
+                window.erase(window.begin());
+            EXPECT_EQ(mhr.key(), encodePattern(window))
+                << "depth " << depth;
+            EXPECT_EQ(mhr.size(), window.size());
+            EXPECT_EQ(mhr.full(depth), window.size() >= depth);
+        }
+    }
+}
+
+TEST(PackedMhr, DecodeReturnsOldestFirst)
+{
+    PackedMhr mhr;
+    mhr.push(tup(1, MsgType::get_ro_request), 3);
+    mhr.push(tup(2, MsgType::get_ro_response), 3);
+    EXPECT_EQ(mhr.decode(),
+              (std::vector<MsgTuple>{
+                  tup(1, MsgType::get_ro_request),
+                  tup(2, MsgType::get_ro_response)}));
+    mhr.push(tup(3, MsgType::upgrade_response), 3);
+    // Tuple 1 falls out of the depth-3 window.
+    mhr.push(tup(4, MsgType::inval_ro_request), 3);
+    EXPECT_EQ(mhr.decode(),
+              (std::vector<MsgTuple>{
+                  tup(2, MsgType::get_ro_response),
+                  tup(3, MsgType::upgrade_response),
+                  tup(4, MsgType::inval_ro_request)}));
+}
+
+TEST(PackedMhr, ObserveReportsPreviousMessageType)
+{
+    // The predictor's block state carries the last message type so
+    // PredictorBank's arc statistics need no second table.
+    CosmosPredictor p(CosmosConfig{1, 0});
+    auto r1 = p.observe(0x40, tup(1, MsgType::get_ro_request));
+    EXPECT_FALSE(r1.hadPrevType);
+    auto r2 = p.observe(0x40, tup(2, MsgType::get_ro_response));
+    EXPECT_TRUE(r2.hadPrevType);
+    EXPECT_EQ(r2.prevType, MsgType::get_ro_request);
+    // A different block has its own (empty) previous type.
+    auto r3 = p.observe(0x80, tup(1, MsgType::upgrade_request));
+    EXPECT_FALSE(r3.hadPrevType);
+}
+
 } // namespace
 } // namespace cosmos::pred

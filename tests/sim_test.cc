@@ -124,5 +124,42 @@ TEST(EventQueue, SameTickEventScheduledDuringExecutionRuns)
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(EventQueue, ReserveDoesNotAffectSemantics)
+{
+    EventQueue eq;
+    eq.reserve(1000);
+    EXPECT_EQ(eq.pending(), 0u);
+    std::vector<int> order;
+    for (int i = 99; i >= 0; --i)
+        eq.scheduleAt(static_cast<Tick>(i),
+                      [&order, i]() { order.push_back(i); });
+    EXPECT_EQ(eq.pending(), 100u);
+    EXPECT_EQ(eq.run(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, HandlerMaySchedulePastItsOwnPop)
+{
+    // runOne() moves the callback out before popping, so a handler
+    // that schedules (possibly reallocating the heap) and then keeps
+    // using its own captures must be safe.
+    EventQueue eq;
+    std::vector<int> order;
+    const std::vector<int> payload = {1, 2, 3};
+    eq.scheduleAt(1, [&eq, &order, payload]() {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleAfter(static_cast<Tick>(i + 1), []() {});
+        // Captured state must still be intact after the growth above.
+        for (int v : payload)
+            order.push_back(v);
+    });
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(order, payload);
+    EXPECT_EQ(eq.pending(), 64u);
+    eq.run();
+    EXPECT_EQ(eq.executed(), 65u);
+}
+
 } // namespace
 } // namespace cosmos::sim
