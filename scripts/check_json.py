@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate JSON artifacts the simulator emits.
+
+Usage:
+    check_json.py [--schema metrics|chrome-trace|any] FILE...
+
+Schemas:
+    any           the file parses as JSON (the default)
+    metrics       a cosmos-metrics-v1 document: {"schema":
+                  "cosmos-metrics-v1", "metrics": {name: {...}}} with
+                  per-kind required fields
+    chrome-trace  a Chrome trace-event file: {"traceEvents": [...]}
+                  where every event carries name/cat/ph/ts/pid/tid
+                  (and dur for complete events)
+
+Exits non-zero with a per-file message on the first failure, so it
+slots directly into scripts/ci.sh.
+"""
+
+import argparse
+import json
+import sys
+
+METRIC_KINDS = {
+    "counter": {"value"},
+    "gauge": {"value", "high_water"},
+    "histogram": {"count", "sum", "min", "max", "p50", "p90", "p99",
+                  "bounds", "counts"},
+    "summary": {"count", "sum", "min", "max", "mean", "stddev"},
+}
+
+TRACE_EVENT_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
+
+
+def check_metrics(doc):
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if doc.get("schema") != "cosmos-metrics-v1":
+        return f"unexpected schema field: {doc.get('schema')!r}"
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return "missing \"metrics\" object"
+    for name, m in metrics.items():
+        if not isinstance(m, dict):
+            return f"metric {name!r} is not an object"
+        kind = m.get("kind")
+        required = METRIC_KINDS.get(kind)
+        if required is None:
+            return f"metric {name!r} has unknown kind {kind!r}"
+        missing = required - m.keys()
+        if missing:
+            return (f"metric {name!r} ({kind}) missing fields: "
+                    f"{sorted(missing)}")
+        if kind == "histogram" and \
+                len(m["counts"]) != len(m["bounds"]) + 1:
+            return (f"metric {name!r}: counts must have one overflow "
+                    f"slot beyond bounds")
+    return None
+
+
+def check_chrome_trace(doc):
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return "missing \"traceEvents\" array"
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return f"event {i} is not an object"
+        missing = TRACE_EVENT_KEYS - ev.keys()
+        if missing:
+            return f"event {i} missing keys: {sorted(missing)}"
+        if ev["ph"] == "X" and "dur" not in ev:
+            return f"complete event {i} has no \"dur\""
+        if not isinstance(ev["ts"], (int, float)):
+            return f"event {i} \"ts\" is not a number"
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--schema", default="any",
+                    choices=["any", "metrics", "chrome-trace"])
+    ap.add_argument("files", nargs="+", metavar="FILE")
+    args = ap.parse_args()
+
+    for path in args.files:
+        try:
+            with open(path, "rb") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"check_json: {path}: {e}", file=sys.stderr)
+            return 1
+        error = None
+        if args.schema == "metrics":
+            error = check_metrics(doc)
+        elif args.schema == "chrome-trace":
+            error = check_chrome_trace(doc)
+        if error:
+            print(f"check_json: {path}: {error}", file=sys.stderr)
+            return 1
+        print(f"check_json: {path}: OK ({args.schema})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

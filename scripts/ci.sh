@@ -43,6 +43,24 @@ for e in build/examples/*; do
 done
 ./build/tools/cosmos list > /dev/null
 
+# Observability smoke: a sweep must emit a valid, stable metrics
+# document and a loadable Chrome trace-event file. The metrics export
+# contains only stable (thread-count-independent) metrics, so the
+# --threads 1 and --threads 2 documents must be byte-identical.
+mkdir -p artifacts
+./build/tools/cosmos sweep micro_migratory --threads 2 \
+    --metrics-out artifacts/metrics_sweep.json \
+    --trace-out artifacts/trace_sweep.json > /dev/null
+./build/tools/cosmos sweep micro_migratory --threads 1 \
+    --metrics-out artifacts/metrics_sweep_serial.json > /dev/null
+cmp artifacts/metrics_sweep.json artifacts/metrics_sweep_serial.json
+python3 scripts/check_json.py --schema metrics \
+    artifacts/metrics_sweep.json
+python3 scripts/check_json.py --schema chrome-trace \
+    artifacts/trace_sweep.json
+python3 scripts/check_json.py build/BENCH_*.json
+echo "== observability smoke OK"
+
 # Release-mode perf smoke (-O2 -DNDEBUG): the golden-gated throughput
 # bench replays the full Table 5/6 grid, fails the build on any
 # accuracy drift from tests/fixtures/golden_accuracy.hh, and publishes
@@ -56,6 +74,7 @@ start=$(now_ms)
 ./build-release/bench/bench_predictor_throughput \
     --out artifacts/BENCH_predictor_throughput.json
 echo "== release perf smoke ($(($(now_ms) - start)) ms)"
+python3 scripts/check_json.py artifacts/BENCH_predictor_throughput.json
 echo "== artifact: artifacts/BENCH_predictor_throughput.json"
 
 # ThreadSanitizer pass over the parallel replay engine: the

@@ -28,6 +28,7 @@
 #ifndef COSMOS_COMMON_FLAT_MAP_HH
 #define COSMOS_COMMON_FLAT_MAP_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <new>
@@ -199,6 +200,58 @@ class FlatMap
     /** Slots currently reserved (power of two, or 0 before first
      *  insert). */
     std::size_t capacity() const { return cap_; }
+
+    /** Occupied fraction of the slot array, in [0, 7/8]. */
+    double
+    loadFactor() const
+    {
+        return cap_ == 0 ? 0.0
+                         : static_cast<double>(size_) /
+                               static_cast<double>(cap_);
+    }
+
+    /** Probe-length summary over all live entries. A lookup for a
+     *  stored key inspects exactly its probe length slots, so these
+     *  numbers are the table's expected-hit cost. */
+    struct ProbeStats
+    {
+        std::uint64_t samples = 0; ///< live entries (== size())
+        std::uint64_t total = 0;   ///< sum of probe lengths
+        std::uint16_t longest = 0; ///< worst-case probe length
+
+        double
+        mean() const
+        {
+            return samples == 0 ? 0.0
+                                : static_cast<double>(total) /
+                                      static_cast<double>(samples);
+        }
+    };
+
+    ProbeStats
+    probeLengthStats() const
+    {
+        ProbeStats ps;
+        for (std::size_t i = 0; i < cap_; ++i) {
+            if (dist_[i]) {
+                ++ps.samples;
+                ps.total += dist_[i];
+                ps.longest = std::max(ps.longest, dist_[i]);
+            }
+        }
+        return ps;
+    }
+
+    /** Call f(probe_length) for every live entry (introspection for
+     *  probe-length histograms; order unspecified). */
+    template <class F>
+    void
+    forEachProbeLength(F &&f) const
+    {
+        for (std::size_t i = 0; i < cap_; ++i)
+            if (dist_[i])
+                f(static_cast<unsigned>(dist_[i]));
+    }
 
   private:
     struct Slot

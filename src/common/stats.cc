@@ -1,7 +1,10 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+
+#include "common/log.hh"
 
 namespace cosmos
 {
@@ -18,6 +21,7 @@ Distribution::sample(double v)
     }
     ++count_;
     sum_ += v;
+    sumSquares_ += v * v;
 }
 
 double
@@ -36,6 +40,160 @@ double
 Distribution::max() const
 {
     return max_;
+}
+
+double
+Distribution::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double m = sum_ / n;
+    // E[x^2] - E[x]^2, clamped against rounding noise.
+    return std::max(0.0, sumSquares_ / n - m * m);
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumSquares_ += other.sumSquares_;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        cosmos_assert(bounds_[i - 1] < bounds_[i],
+                      "histogram bounds must be strictly increasing");
+}
+
+Histogram
+Histogram::exponential(double first, double factor, unsigned count)
+{
+    cosmos_assert(first > 0 && factor > 1 && count > 0,
+                  "bad exponential histogram layout");
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double b = first;
+    for (unsigned i = 0; i < count; ++i, b *= factor)
+        bounds.push_back(b);
+    return Histogram(std::move(bounds));
+}
+
+Histogram
+Histogram::linear(double lo, double hi, unsigned count)
+{
+    cosmos_assert(lo < hi && count > 0, "bad linear histogram layout");
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    const double step = (hi - lo) / count;
+    for (unsigned i = 1; i <= count; ++i)
+        bounds.push_back(lo + step * i);
+    return Histogram(std::move(bounds));
+}
+
+void
+Histogram::record(double v, std::uint64_t weight)
+{
+    if (counts_.empty())
+        counts_.assign(bounds_.size() + 1, 0);
+    if (weight == 0)
+        return;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    counts_[static_cast<std::size_t>(it - bounds_.begin())] += weight;
+    count_ += weight;
+    sum_ += v * static_cast<double>(weight);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Histogram::min() const
+{
+    return min_;
+}
+
+double
+Histogram::max() const
+{
+    return max_;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based, rounded up (nearest-rank).
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= rank) {
+            // Upper bound of the bucket, clamped to observed range;
+            // the overflow bucket answers with the observed max.
+            const double upper =
+                i < bounds_.size() ? bounds_[i] : max_;
+            return std::clamp(upper, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (counts_.empty() && count_ == 0 && bounds_.empty()) {
+        *this = other;
+        return;
+    }
+    cosmos_assert(bounds_ == other.bounds_,
+                  "merging histograms with different bucket layouts");
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 void

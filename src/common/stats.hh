@@ -53,7 +53,7 @@ struct HitRatio
     }
 };
 
-/** Running scalar summary (count / mean / min / max). */
+/** Running scalar summary (count / mean / min / max / stddev). */
 class Distribution
 {
   public:
@@ -65,7 +65,79 @@ class Distribution
     double max() const;
     double sum() const { return sum_; }
 
+    /** Population variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation; 0 when fewer than two samples. */
+    double stddev() const;
+
+    /** Fold another summary into this one (order-independent). */
+    void merge(const Distribution &other);
+
   private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSquares_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram with percentile queries.
+ *
+ * Bucket i counts samples <= bounds[i] (bounds strictly increasing);
+ * samples above the last bound land in an implicit overflow bucket.
+ * Because the bucket layout is fixed at construction, two histograms
+ * with equal bounds merge by summing counts -- the same deterministic
+ * discipline as the replay shard reductions -- and percentile queries
+ * are pure functions of the counts.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** @param bounds strictly increasing bucket upper bounds. */
+    explicit Histogram(std::vector<double> bounds);
+
+    /**
+     * Convenience layout: bounds first, first*factor, ... (count of
+     * them). E.g. exponential(1, 2, 12) covers 1..2048 in 12 buckets.
+     */
+    static Histogram exponential(double first, double factor,
+                                 unsigned count);
+
+    /** Equal-width layout: lo+step, lo+2*step, ..., hi. */
+    static Histogram linear(double lo, double hi, unsigned count);
+
+    void record(double v, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Estimated value at quantile @p q in [0, 1]: the upper bound of
+     * the bucket where the cumulative count crosses q (clamped to the
+     * observed min/max so single-sample histograms answer exactly).
+     * Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
+    /** Bucket upper bounds (excluding the overflow bucket). */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Per-bucket counts; counts().back() is the overflow bucket. */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    /** Sum another histogram in; bucket bounds must be identical. */
+    void merge(const Histogram &other);
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_; ///< bounds_.size() + 1 slots
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;

@@ -40,6 +40,17 @@ CosmosPredictor::footprint() const
     return f;
 }
 
+CosmosTableStats
+CosmosPredictor::tableStats() const
+{
+    CosmosTableStats ts;
+    ts.blockCapacity = blocks_.capacity();
+    ts.blockLoadFactor = blocks_.loadFactor();
+    ts.arenaBytesUsed = arena_.bytesUsed();
+    ts.arenaBytesReserved = arena_.bytesReserved();
+    return ts;
+}
+
 std::vector<MsgTuple>
 CosmosPredictor::history(Addr block) const
 {

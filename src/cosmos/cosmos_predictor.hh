@@ -60,6 +60,20 @@ struct CosmosFootprint
     std::uint64_t phtEntries = 0; ///< patterns stored across blocks
 };
 
+/**
+ * Container-level introspection of one predictor. Unlike
+ * CosmosFootprint these numbers depend on table growth history and
+ * hashing, not just on the trace content, so observability exports
+ * must treat them as volatile.
+ */
+struct CosmosTableStats
+{
+    std::uint64_t blockCapacity = 0;  ///< block-table slots reserved
+    double blockLoadFactor = 0.0;     ///< block-table occupancy
+    std::uint64_t arenaBytesUsed = 0;
+    std::uint64_t arenaBytesReserved = 0;
+};
+
 /** One Cosmos predictor instance (one per cache / directory module). */
 class CosmosPredictor : public MessagePredictor
 {
@@ -73,6 +87,24 @@ class CosmosPredictor : public MessagePredictor
 
     /** Memory accounting across all blocks this instance has seen. */
     CosmosFootprint footprint() const;
+
+    /** Table/arena introspection (volatile; see CosmosTableStats). */
+    CosmosTableStats tableStats() const;
+
+    /**
+     * Call f(probe_len) for every live entry in the block table and
+     * in every per-block PHT -- the raw samples behind a probe-length
+     * histogram. Order unspecified.
+     */
+    template <class F>
+    void
+    forEachProbeLength(F &&f) const
+    {
+        blocks_.forEachProbeLength(f);
+        blocks_.forEach([&](Addr, const BlockState &st) {
+            st.pht.forEachProbeLength(f);
+        });
+    }
 
     /** Last `<= depth` tuples received for @p block (oldest first). */
     std::vector<MsgTuple> history(Addr block) const;

@@ -127,6 +127,36 @@ PredictorBank::arcs(proto::Role role) const
     return role == proto::Role::cache ? cacheArcs_ : dirArcs_;
 }
 
+void
+PredictorBank::publishMetrics(obs::Registry &reg,
+                              const std::string &prefix) const
+{
+    const MemoryStats m = memoryStats();
+    reg.counter(prefix + ".mhr_entries").add(m.mhrEntries);
+    reg.counter(prefix + ".pht_entries").add(m.phtEntries);
+
+    auto &load = reg.summary(prefix + ".block_table.load_factor",
+                             obs::Stability::volatile_);
+    auto &probes = reg.histogram(
+        prefix + ".probe_length",
+        Histogram::linear(1.0, 16.0, 15), obs::Stability::volatile_);
+    auto &arena_used = reg.counter(prefix + ".arena_bytes_used",
+                                   obs::Stability::volatile_);
+    auto &arena_reserved = reg.counter(
+        prefix + ".arena_bytes_reserved", obs::Stability::volatile_);
+    for (const auto &p : predictors_) {
+        const auto *c = dynamic_cast<const CosmosPredictor *>(p.get());
+        cosmos_assert(c, "non-Cosmos predictor in Cosmos bank");
+        const CosmosTableStats ts = c->tableStats();
+        if (ts.blockCapacity != 0)
+            load.sample(ts.blockLoadFactor);
+        arena_used.add(ts.arenaBytesUsed);
+        arena_reserved.add(ts.arenaBytesReserved);
+        c->forEachProbeLength(
+            [&probes](unsigned d) { probes.record(d); });
+    }
+}
+
 MemoryStats
 PredictorBank::memoryStats() const
 {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/flat_map.hh"
+#include "obs/metrics.hh"
 #include "cosmos/accuracy.hh"
 #include "cosmos/arc_stats.hh"
 #include "cosmos/cosmos_predictor.hh"
@@ -73,6 +74,18 @@ class PredictorBank
      * of Cosmos predictors; panics otherwise.
      */
     MemoryStats memoryStats() const;
+
+    /**
+     * Publish predictor observability into @p reg under @p prefix.
+     * Only meaningful for Cosmos banks. Stable metrics (counters):
+     * MHR/PHT entry counts, which are pure functions of the replayed
+     * records. Volatile metrics: block-table load factors, the
+     * probe-length histogram, and arena bytes -- these depend on per-
+     * instance table growth history and differ between serial and
+     * sharded replays, so they never enter the stable JSON export.
+     */
+    void publishMetrics(obs::Registry &reg,
+                        const std::string &prefix = "pred") const;
 
     /** The predictor instance beside node @p n in role @p role. */
     MessagePredictor &predictor(NodeId n, proto::Role role);

@@ -84,6 +84,8 @@ runWorkload(const RunConfig &cfg, wl::Workload &workload)
     result.totals = collectTotals(machine);
     result.finalTime = machine.eventQueue().now();
     result.events = machine.eventQueue().executed();
+    if (cfg.metrics != nullptr)
+        machine.publishMetrics(*cfg.metrics);
     return result;
 }
 

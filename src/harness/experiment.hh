@@ -15,6 +15,7 @@
 
 #include "common/config.hh"
 #include "net/network_stats.hh"
+#include "obs/metrics.hh"
 #include "proto/machine.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
@@ -34,6 +35,12 @@ struct RunConfig
     std::uint64_t seed = 0x5eedc05305ULL;
     /** Check whole-machine coherence invariants between iterations. */
     bool checkInvariants = true;
+    /**
+     * When set, the machine publishes its observability surface
+     * (sim.*, net.*, proto.* -- see proto::Machine::publishMetrics)
+     * here after the run, before the machine is torn down.
+     */
+    obs::Registry *metrics = nullptr;
 };
 
 /** Whole-machine protocol activity totals, summed over nodes. */

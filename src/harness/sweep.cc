@@ -1,9 +1,54 @@
 #include "harness/sweep.hh"
 
+#include <set>
+
+#include "common/log.hh"
 #include "harness/trace_cache.hh"
 
 namespace cosmos::harness
 {
+
+namespace
+{
+
+void
+publishPoolMetrics(const replay::ThreadPool &pool, obs::Registry &reg)
+{
+    // Task count depends on parallelFor chunking, i.e. on the pool
+    // size -- volatile like the rest of the execution counters.
+    reg.counter("replay.pool.tasks_submitted",
+                obs::Stability::volatile_)
+        .add(pool.tasksSubmitted());
+    const auto stats = pool.workerStats();
+    auto &tasks = reg.summary("replay.pool.worker.tasks_run",
+                              obs::Stability::volatile_);
+    auto &steals = reg.counter("replay.pool.steals",
+                               obs::Stability::volatile_);
+    auto &idles = reg.counter("replay.pool.idle_waits",
+                              obs::Stability::volatile_);
+    for (const auto &w : stats) {
+        tasks.sample(static_cast<double>(w.tasksRun));
+        steals.add(w.steals);
+        idles.add(w.idleWaits);
+    }
+}
+
+std::string
+cellName(const replay::ReplayJob &job)
+{
+    std::string n = "sweep." + job.app + ".d" +
+                    std::to_string(job.config.depth) + ".f" +
+                    std::to_string(job.config.filterMax);
+    if (job.config.maxPhtPerBlock != 0)
+        n += ".p" + std::to_string(job.config.maxPhtPerBlock);
+    if (job.maxIteration != INT32_MAX)
+        n += ".i" + std::to_string(job.maxIteration);
+    if (job.policy != OwnerReadPolicy::half_migratory)
+        n += ".dash";
+    return n;
+}
+
+} // namespace
 
 std::vector<replay::ReplayResult>
 runSweep(const std::vector<replay::ReplayJob> &jobs,
@@ -15,7 +60,45 @@ runSweep(const std::vector<replay::ReplayJob> &jobs,
             return cachedTrace(job.app, job.iterations, job.policy,
                                job.seed);
         });
-    return engine.run(jobs);
+    auto results = engine.run(jobs);
+    if (opts.metrics != nullptr)
+        publishPoolMetrics(pool, *opts.metrics);
+    return results;
+}
+
+void
+publishSweepMetrics(const std::vector<replay::ReplayJob> &jobs,
+                    const std::vector<replay::ReplayResult> &results,
+                    obs::Registry &reg)
+{
+    cosmos_assert(jobs.size() == results.size(),
+                  "jobs/results size mismatch");
+    reg.counter("sweep.cells").add(jobs.size());
+
+    std::set<std::string> used;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::string base = cellName(jobs[i]);
+        // Two jobs can legitimately share a configuration (e.g. a
+        // shard-count study); keep their cells distinct by job index.
+        if (!used.insert(base).second)
+            base += ".job" + std::to_string(i);
+        const replay::ReplayResult &r = results[i];
+
+        reg.counter(base + ".lookups").add(r.accuracy.overall().total);
+        reg.counter(base + ".hits").add(r.accuracy.overall().hits);
+        reg.counter(base + ".cache.lookups")
+            .add(r.accuracy.cacheSide().total);
+        reg.counter(base + ".cache.hits")
+            .add(r.accuracy.cacheSide().hits);
+        reg.counter(base + ".dir.lookups")
+            .add(r.accuracy.directorySide().total);
+        reg.counter(base + ".dir.hits")
+            .add(r.accuracy.directorySide().hits);
+        reg.counter(base + ".cold_misses")
+            .add(r.accuracy.coldMisses());
+        reg.counter(base + ".mhr_entries").add(r.memory.mhrEntries);
+        reg.counter(base + ".pht_entries").add(r.memory.phtEntries);
+    }
 }
 
 } // namespace cosmos::harness

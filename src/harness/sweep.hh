@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "replay/sweep.hh"
 
 namespace cosmos::harness
@@ -27,6 +28,14 @@ struct SweepOptions
      * hardware_concurrency (replay::ThreadPool::defaultThreadCount).
      */
     unsigned threads = 0;
+
+    /**
+     * When set, runSweep publishes execution observability here:
+     * pool counters (tasks submitted / run / steals / idle waits),
+     * all tagged volatile -- they depend on the pool size and on
+     * scheduling, never on the simulated results.
+     */
+    obs::Registry *metrics = nullptr;
 };
 
 /**
@@ -36,6 +45,18 @@ struct SweepOptions
 std::vector<replay::ReplayResult> runSweep(
     const std::vector<replay::ReplayJob> &jobs,
     const SweepOptions &opts = {});
+
+/**
+ * Publish one sweep's results into @p reg as stable metrics: per
+ * cell (named "sweep.<app>.d<depth>.f<filter>[.i<maxIter>]",
+ * deduplicated with a job-order suffix on collision), prediction
+ * hits/lookups overall and per side, cold misses, and the Table 7
+ * MHR/PHT entry counts. Everything here reduces deterministically,
+ * so the JSON export is byte-identical across thread counts.
+ */
+void publishSweepMetrics(const std::vector<replay::ReplayJob> &jobs,
+                         const std::vector<replay::ReplayResult> &results,
+                         obs::Registry &reg);
 
 } // namespace cosmos::harness
 

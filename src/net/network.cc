@@ -5,6 +5,52 @@
 namespace cosmos::net
 {
 
+Histogram
+NetworkStats::latencyLayout()
+{
+    // Remote latency is 2*NI + wire plus channel-FIFO backpressure;
+    // powers of two from 1 to 2048 ticks cover the paper's Table 3
+    // machine with headroom for congested channels.
+    return Histogram::exponential(1.0, 2.0, 12);
+}
+
+void
+NetworkStats::recordRemote(unsigned cls, Tick lat)
+{
+    remoteMessages++;
+    totalLatency += lat;
+    if (latency.bounds().empty())
+        latency = latencyLayout();
+    latency.record(static_cast<double>(lat));
+    if (latencyByClass.size() <= cls)
+        latencyByClass.resize(cls + 1, latencyLayout());
+    latencyByClass[cls].record(static_cast<double>(lat));
+}
+
+void
+NetworkStats::publishMetrics(obs::Registry &reg,
+                             const std::string &prefix,
+                             const char *(*class_name)(unsigned)) const
+{
+    reg.counter(prefix + ".remote_messages").add(remoteMessages);
+    reg.counter(prefix + ".local_messages").add(localMessages);
+    reg.counter(prefix + ".total_latency_ticks").add(totalLatency);
+    auto &inflight = reg.gauge(prefix + ".in_flight");
+    inflight.set(maxInFlight);
+    inflight.set(inFlight);
+    reg.histogram(prefix + ".latency_ticks", latencyLayout())
+        .merge(latency);
+    if (class_name != nullptr) {
+        for (unsigned c = 0; c < latencyByClass.size(); ++c) {
+            if (latencyByClass[c].count() == 0)
+                continue;
+            reg.histogram(prefix + ".latency_ticks." + class_name(c),
+                          latencyLayout())
+                .merge(latencyByClass[c]);
+        }
+    }
+}
+
 double
 NetworkStats::meanLatency() const
 {
@@ -20,6 +66,10 @@ NetworkStats::format() const
     std::ostringstream os;
     os << "remote=" << remoteMessages << " local=" << localMessages
        << " mean_latency=" << meanLatency() << "ns";
+    if (latency.count() > 0) {
+        os << " p50=" << latency.percentile(0.5)
+           << " p99=" << latency.percentile(0.99);
+    }
     return os.str();
 }
 

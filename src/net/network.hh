@@ -30,6 +30,19 @@ namespace cosmos::net
 {
 
 /**
+ * Customization point mapping a payload to a small traffic-class
+ * index for per-class latency histograms. The primary template puts
+ * everything in one unnamed class; payload owners (proto specializes
+ * this for Msg) provide a real classification.
+ */
+template <typename Payload>
+struct TrafficClass
+{
+    static unsigned of(const Payload &) { return 0; }
+    static const char *name(unsigned) { return "all"; }
+};
+
+/**
  * Fixed-latency point-to-point network carrying @p Payload messages.
  *
  * Each destination node attaches one handler; the handler receives the
@@ -79,15 +92,27 @@ class Network
             auto &last = lastArrival_[channelKey(src, dst)];
             arrive = std::max(arrive, last + 1);
             last = arrive;
-            stats_.remoteMessages++;
-            stats_.totalLatency += arrive - eq_.now();
+            stats_.recordRemote(TrafficClass<Payload>::of(payload),
+                                arrive - eq_.now());
         }
+        stats_.recordInFlightSend();
         eq_.scheduleAt(arrive,
                        [this, dst, local, p = std::move(payload)]() {
                            cosmos_assert(handlers_[dst],
                                          "no handler on node ", dst);
+                           stats_.recordDelivered();
                            handlers_[dst](p, local);
                        });
+    }
+
+    /** Publish interconnect metrics under "<prefix>." using the
+     *  payload's TrafficClass names for per-class histograms. */
+    void
+    publishMetrics(obs::Registry &reg,
+                   const std::string &prefix = "net") const
+    {
+        stats_.publishMetrics(reg, prefix,
+                              &TrafficClass<Payload>::name);
     }
 
     const NetworkStats &stats() const { return stats_; }

@@ -1,0 +1,243 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace cosmos::obs
+{
+
+namespace
+{
+
+const char *
+kindName(int kind)
+{
+    switch (kind) {
+    case 0:
+        return "counter";
+    case 1:
+        return "gauge";
+    case 2:
+        return "histogram";
+    default:
+        return "summary";
+    }
+}
+
+/**
+ * Deterministic JSON number rendering: integral values print with no
+ * decimal point, everything else with 9 significant digits. The only
+ * property the export needs is that equal doubles render to equal
+ * bytes, which any fixed format gives; this one also keeps counters
+ * readable.
+ */
+std::string
+num(double v)
+{
+    char buf[40];
+    if (std::nearbyint(v) == v && std::fabs(v) < 9e15) {
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.9g", v);
+    }
+    return buf;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+Registry::Metric &
+Registry::obtain(const std::string &name, Kind kind, Stability st)
+{
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        auto m = std::make_unique<Metric>();
+        m->kind = kind;
+        m->stability = st;
+        it = metrics_.emplace(name, std::move(m)).first;
+    } else {
+        cosmos_assert(it->second->kind == kind,
+                      "metric \"", name, "\" re-registered as ",
+                      kindName(static_cast<int>(kind)), ", was ",
+                      kindName(static_cast<int>(it->second->kind)));
+    }
+    return *it->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, Stability st)
+{
+    return obtain(name, Kind::counter, st).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, Stability st)
+{
+    return obtain(name, Kind::gauge, st).gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const Histogram &layout,
+                    Stability st)
+{
+    Metric &m = obtain(name, Kind::histogram, st);
+    if (m.histogram.bounds().empty() && m.histogram.count() == 0)
+        m.histogram = layout;
+    return m.histogram;
+}
+
+Distribution &
+Registry::summary(const std::string &name, Stability st)
+{
+    return obtain(name, Kind::summary, st).summary;
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    for (const auto &[name, theirs] : other.metrics_) {
+        Metric &mine = obtain(name, theirs->kind, theirs->stability);
+        switch (theirs->kind) {
+        case Kind::counter:
+            mine.counter.add(theirs->counter.value());
+            break;
+        case Kind::gauge:
+            mine.gauge.mergeFrom(theirs->gauge);
+            break;
+        case Kind::histogram:
+            mine.histogram.merge(theirs->histogram);
+            break;
+        case Kind::summary:
+            mine.summary.merge(theirs->summary);
+            break;
+        }
+    }
+}
+
+std::string
+Registry::toJson(bool include_volatile) const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"cosmos-metrics-v1\",\n  \"metrics\": {";
+    bool first = true;
+    for (const auto &[name, m] : metrics_) {
+        if (m->stability == Stability::volatile_ && !include_volatile)
+            continue;
+        os << (first ? "\n" : ",\n") << "    " << quote(name)
+           << ": {\"kind\": \""
+           << kindName(static_cast<int>(m->kind)) << "\", ";
+        switch (m->kind) {
+        case Kind::counter:
+            os << "\"value\": " << m->counter.value();
+            break;
+        case Kind::gauge:
+            os << "\"value\": " << m->gauge.value()
+               << ", \"high_water\": " << m->gauge.highWater();
+            break;
+        case Kind::histogram: {
+            const Histogram &h = m->histogram;
+            os << "\"count\": " << h.count() << ", \"sum\": "
+               << num(h.sum()) << ", \"min\": " << num(h.min())
+               << ", \"max\": " << num(h.max())
+               << ", \"p50\": " << num(h.percentile(0.50))
+               << ", \"p90\": " << num(h.percentile(0.90))
+               << ", \"p99\": " << num(h.percentile(0.99))
+               << ", \"bounds\": [";
+            for (std::size_t i = 0; i < h.bounds().size(); ++i)
+                os << (i ? ", " : "") << num(h.bounds()[i]);
+            os << "], \"counts\": [";
+            for (std::size_t i = 0; i < h.counts().size(); ++i)
+                os << (i ? ", " : "") << h.counts()[i];
+            os << "]";
+            break;
+        }
+        case Kind::summary: {
+            const Distribution &d = m->summary;
+            os << "\"count\": " << d.count() << ", \"sum\": "
+               << num(d.sum()) << ", \"min\": " << num(d.min())
+               << ", \"max\": " << num(d.max())
+               << ", \"mean\": " << num(d.mean())
+               << ", \"stddev\": " << num(d.stddev());
+            break;
+        }
+        }
+        os << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+bool
+Registry::writeJson(const std::string &path,
+                    bool include_volatile) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        cosmos_warn("cannot write metrics to ", path);
+        return false;
+    }
+    const std::string doc = toJson(include_volatile);
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        cosmos_warn("short write of metrics to ", path);
+    return ok;
+}
+
+std::string
+Registry::format() const
+{
+    std::ostringstream os;
+    for (const auto &[name, m] : metrics_) {
+        os << name;
+        if (m->stability == Stability::volatile_)
+            os << " (volatile)";
+        os << " = ";
+        switch (m->kind) {
+        case Kind::counter:
+            os << m->counter.value();
+            break;
+        case Kind::gauge:
+            os << m->gauge.value() << " (high water "
+               << m->gauge.highWater() << ")";
+            break;
+        case Kind::histogram: {
+            const Histogram &h = m->histogram;
+            os << "count " << h.count() << ", mean " << h.mean()
+               << ", p50 " << h.percentile(0.50) << ", p90 "
+               << h.percentile(0.90) << ", p99 "
+               << h.percentile(0.99) << ", max " << h.max();
+            break;
+        }
+        case Kind::summary: {
+            const Distribution &d = m->summary;
+            os << "count " << d.count() << ", mean " << d.mean()
+               << ", stddev " << d.stddev() << ", min " << d.min()
+               << ", max " << d.max();
+            break;
+        }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cosmos::obs

@@ -1,0 +1,255 @@
+#include "obs/trace_event.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace cosmos::obs
+{
+
+namespace detail
+{
+std::atomic<bool> tracing_active{false};
+}
+
+namespace
+{
+
+/** Events kept per thread; the ring overwrites the oldest beyond
+ *  this, counting the drops. 64Ki events ~= 4 MB per thread. */
+constexpr std::size_t ring_capacity = std::size_t{1} << 16;
+
+struct Event
+{
+    const char *cat;
+    const char *name;
+    const char *k0; ///< null = no argument
+    const char *k1;
+    std::uint64_t ts;  ///< ns since the trace epoch
+    std::uint64_t dur; ///< ns; 0 for instants
+    std::uint64_t a0;
+    std::uint64_t a1;
+    char ph; ///< 'X' complete, 'i' instant
+};
+
+/** One thread's recorder. Appends come only from the owning thread;
+ *  the mutex exists so start/flush from other threads are race-free. */
+struct ThreadBuffer
+{
+    std::mutex mutex;
+    std::vector<Event> ring;
+    std::size_t head = 0; ///< oldest element once the ring wrapped
+    std::uint64_t dropped = 0;
+    int tid = 0;
+
+    void
+    append(const Event &e)
+    {
+        std::lock_guard<std::mutex> guard(mutex);
+        if (ring.size() < ring_capacity) {
+            ring.push_back(e);
+        } else {
+            ring[head] = e;
+            head = (head + 1) % ring_capacity;
+            ++dropped;
+        }
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> guard(mutex);
+        ring.clear();
+        head = 0;
+        dropped = 0;
+    }
+};
+
+struct BufferRegistry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    int nextTid = 1;
+};
+
+BufferRegistry &
+registry()
+{
+    static BufferRegistry *r = new BufferRegistry; // leaked on exit:
+    // thread-local buffers may flush during static destruction.
+    return *r;
+}
+
+ThreadBuffer &
+myBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        BufferRegistry &r = registry();
+        std::lock_guard<std::mutex> guard(r.mutex);
+        b->tid = r.nextTid++;
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+} // namespace
+
+std::uint64_t
+traceNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+}
+
+void
+startTracing()
+{
+    epoch(); // pin the epoch before the first event
+    BufferRegistry &r = registry();
+    {
+        std::lock_guard<std::mutex> guard(r.mutex);
+        for (auto &b : r.buffers)
+            b->clear();
+    }
+    detail::tracing_active.store(true, std::memory_order_relaxed);
+}
+
+void
+stopTracing()
+{
+    detail::tracing_active.store(false, std::memory_order_relaxed);
+}
+
+void
+recordSpan(const char *cat, const char *name, std::uint64_t ts_ns,
+           std::uint64_t dur_ns, const char *arg_name0,
+           std::uint64_t arg0, const char *arg_name1,
+           std::uint64_t arg1)
+{
+    myBuffer().append(Event{cat, name, arg_name0, arg_name1, ts_ns,
+                            dur_ns, arg0, arg1, 'X'});
+}
+
+void
+recordInstant(const char *cat, const char *name, const char *arg_name0,
+              std::uint64_t arg0)
+{
+    myBuffer().append(
+        Event{cat, name, arg_name0, nullptr, traceNowNs(), 0, arg0, 0,
+              'i'});
+}
+
+std::uint64_t
+droppedEvents()
+{
+    BufferRegistry &r = registry();
+    std::lock_guard<std::mutex> guard(r.mutex);
+    std::uint64_t total = 0;
+    for (const auto &b : r.buffers) {
+        std::lock_guard<std::mutex> bguard(b->mutex);
+        total += b->dropped;
+    }
+    return total;
+}
+
+bool
+writeTrace(const std::string &path)
+{
+    stopTracing();
+
+    // Snapshot every buffer oldest-first, tagged with its tid.
+    struct Tagged
+    {
+        Event e;
+        int tid;
+    };
+    std::vector<Tagged> events;
+    std::uint64_t dropped = 0;
+    {
+        BufferRegistry &r = registry();
+        std::lock_guard<std::mutex> guard(r.mutex);
+        for (const auto &b : r.buffers) {
+            std::lock_guard<std::mutex> bguard(b->mutex);
+            const std::size_t n = b->ring.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                const Event &e =
+                    b->ring[(b->head + i) % ring_capacity];
+                events.push_back({e, b->tid});
+            }
+            dropped += b->dropped;
+            // Drain: a later writeTrace() must not re-emit these.
+            b->ring.clear();
+            b->head = 0;
+            b->dropped = 0;
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.e.ts < b.e.ts;
+                     });
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        cosmos_warn("cannot write trace to ", path);
+        return false;
+    }
+
+    auto us = [](std::uint64_t ns) {
+        return static_cast<double>(ns) / 1000.0;
+    };
+    std::fprintf(f, "{\n\"traceEvents\": [");
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i].e;
+        std::fprintf(f,
+                     "%s\n{\"name\": \"%s\", \"cat\": \"%s\", "
+                     "\"ph\": \"%c\", \"ts\": %.3f, ",
+                     i ? "," : "", e.name, e.cat, e.ph, us(e.ts));
+        if (e.ph == 'X')
+            std::fprintf(f, "\"dur\": %.3f, ", us(e.dur));
+        if (e.ph == 'i')
+            std::fprintf(f, "\"s\": \"t\", ");
+        std::fprintf(f, "\"pid\": 1, \"tid\": %d", events[i].tid);
+        if (e.k0 != nullptr || e.k1 != nullptr) {
+            std::fprintf(f, ", \"args\": {");
+            bool first = true;
+            if (e.k0 != nullptr) {
+                std::fprintf(f, "\"%s\": %llu", e.k0,
+                             static_cast<unsigned long long>(e.a0));
+                first = false;
+            }
+            if (e.k1 != nullptr)
+                std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ",
+                             e.k1,
+                             static_cast<unsigned long long>(e.a1));
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "}");
+    }
+    std::fprintf(f,
+                 "\n],\n\"displayTimeUnit\": \"ms\",\n"
+                 "\"otherData\": {\"dropped_events\": %llu}\n}\n",
+                 static_cast<unsigned long long>(dropped));
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok)
+        cosmos_warn("short write of trace to ", path);
+    return ok;
+}
+
+} // namespace cosmos::obs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Low-overhead event tracing to Chrome trace-event JSON.
+ *
+ * Spans (COSMOS_SPAN) and instants (COSMOS_INSTANT) record into
+ * per-thread ring buffers; obs::writeTrace() collects every buffer
+ * and writes a Chrome trace-event JSON file that chrome://tracing and
+ * https://ui.perfetto.dev load directly.
+ *
+ * Cost policy (docs/ARCHITECTURE.md "Observability"):
+ *
+ *  - COSMOS_OBS_TRACING=OFF (the Release default): the macros expand
+ *    to nothing; writeTrace() still exists and writes an empty but
+ *    valid trace, so `--trace-out` never breaks.
+ *  - Compiled in but not started: one load + predicted-untaken branch
+ *    per site (tracingActive() checks a relaxed atomic).
+ *  - Started: a span costs two steady_clock reads and one append to
+ *    a thread-local ring buffer (an uncontended mutex guards each
+ *    buffer so flushing from another thread is race-free; the ring
+ *    drops the oldest events when full, counting the drops).
+ *
+ * Names and categories must be string literals (or otherwise outlive
+ * the session): events store the pointers, not copies.
+ */
+
+#ifndef COSMOS_OBS_TRACE_EVENT_HH
+#define COSMOS_OBS_TRACE_EVENT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#ifndef COSMOS_OBS_TRACING_ENABLED
+#define COSMOS_OBS_TRACING_ENABLED 1
+#endif
+
+namespace cosmos::obs
+{
+
+namespace detail
+{
+extern std::atomic<bool> tracing_active;
+}
+
+/** True between startTracing() and stopTracing(). */
+inline bool
+tracingActive()
+{
+    return detail::tracing_active.load(std::memory_order_relaxed);
+}
+
+/** Arm the recorders and discard previously-buffered events. */
+void startTracing();
+
+/** Disarm the recorders; buffered events stay collectable. */
+void stopTracing();
+
+/** Nanoseconds since the process-wide trace epoch. */
+std::uint64_t traceNowNs();
+
+/**
+ * Append one complete ("ph":"X") event to this thread's buffer.
+ * @p arg_name0/1 may be null (the argument is omitted).
+ */
+void recordSpan(const char *cat, const char *name, std::uint64_t ts_ns,
+                std::uint64_t dur_ns, const char *arg_name0 = nullptr,
+                std::uint64_t arg0 = 0,
+                const char *arg_name1 = nullptr, std::uint64_t arg1 = 0);
+
+/** Append one instant ("ph":"i") event to this thread's buffer. */
+void recordInstant(const char *cat, const char *name,
+                   const char *arg_name0 = nullptr,
+                   std::uint64_t arg0 = 0);
+
+/**
+ * Stop tracing, write everything buffered since startTracing() as
+ * Chrome trace-event JSON, and drain the buffers (a second call
+ * without a new startTracing() writes an empty document). @return
+ * false (with a warning) on I/O failure. Always writes a valid
+ * document, even with tracing compiled out (an empty traceEvents
+ * array).
+ */
+bool writeTrace(const std::string &path);
+
+/** Events dropped to ring-buffer overflow since startTracing(). */
+std::uint64_t droppedEvents();
+
+/** RAII span: records [construction, destruction) when tracing is
+ *  active at construction. */
+class SpanScope
+{
+  public:
+    SpanScope(const char *cat, const char *name,
+              const char *arg_name0 = nullptr, std::uint64_t arg0 = 0,
+              const char *arg_name1 = nullptr, std::uint64_t arg1 = 0)
+    {
+        if (!tracingActive())
+            return;
+        cat_ = cat;
+        name_ = name;
+        argName0_ = arg_name0;
+        arg0_ = arg0;
+        argName1_ = arg_name1;
+        arg1_ = arg1;
+        start_ = traceNowNs();
+    }
+
+    ~SpanScope()
+    {
+        if (name_ == nullptr)
+            return;
+        const std::uint64_t end = traceNowNs();
+        recordSpan(cat_, name_, start_, end - start_, argName0_, arg0_,
+                   argName1_, arg1_);
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+  private:
+    const char *cat_ = nullptr;
+    const char *name_ = nullptr; ///< null = inactive scope
+    const char *argName0_ = nullptr;
+    const char *argName1_ = nullptr;
+    std::uint64_t arg0_ = 0;
+    std::uint64_t arg1_ = 0;
+    std::uint64_t start_ = 0;
+};
+
+} // namespace cosmos::obs
+
+#if COSMOS_OBS_TRACING_ENABLED
+
+#define COSMOS_OBS_CAT2(a, b) a##b
+#define COSMOS_OBS_CAT(a, b) COSMOS_OBS_CAT2(a, b)
+
+/** Span over the enclosing scope: COSMOS_SPAN("replay", "cell"). */
+#define COSMOS_SPAN(cat, name)                                             \
+    ::cosmos::obs::SpanScope COSMOS_OBS_CAT(cosmos_span_,                  \
+                                            __LINE__)(cat, name)
+
+/** Span with up to two named integer arguments. */
+#define COSMOS_SPAN_ARGS(cat, name, ...)                                   \
+    ::cosmos::obs::SpanScope COSMOS_OBS_CAT(cosmos_span_, __LINE__)(       \
+        cat, name, __VA_ARGS__)
+
+/** Zero-duration marker, with optional one named argument. */
+#define COSMOS_INSTANT(cat, name, ...)                                     \
+    do {                                                                   \
+        if (::cosmos::obs::tracingActive())                                \
+            ::cosmos::obs::recordInstant(cat, name, ##__VA_ARGS__);        \
+    } while (false)
+
+#else // !COSMOS_OBS_TRACING_ENABLED
+
+#define COSMOS_SPAN(cat, name)                                             \
+    do {                                                                   \
+    } while (false)
+#define COSMOS_SPAN_ARGS(cat, name, ...)                                   \
+    do {                                                                   \
+    } while (false)
+#define COSMOS_INSTANT(cat, name, ...)                                     \
+    do {                                                                   \
+    } while (false)
+
+#endif // COSMOS_OBS_TRACING_ENABLED
+
+#endif // COSMOS_OBS_TRACE_EVENT_HH

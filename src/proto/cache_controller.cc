@@ -47,6 +47,8 @@ CacheController::setState(Addr block, LineState st)
         --validLines_;
     else if (!counted(old) && counted(st))
         ++validLines_;
+    if (old != st)
+        ++stats_.stateEntries[static_cast<std::size_t>(st)];
     if (st == LineState::invalid)
         lines_.erase(block);
     else

@@ -18,6 +18,7 @@
 #ifndef COSMOS_PROTO_CACHE_CONTROLLER_HH
 #define COSMOS_PROTO_CACHE_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -58,6 +59,11 @@ struct CacheStats
     std::uint64_t downgradesReceived = 0;
     std::uint64_t evictions = 0;      ///< silent read-only drops
     std::uint64_t staleInvals = 0;    ///< invals for dropped lines
+    /** Line-state transitions, counted by the state entered
+     *  (index = LineState). Entries into transient states measure
+     *  miss traffic; entries into `invalid` are invalidations and
+     *  evictions. */
+    std::array<std::uint64_t, 6> stateEntries{};
 };
 
 /**

@@ -48,6 +48,14 @@ DirectoryController::entry(Addr block)
     return entries_[block];
 }
 
+void
+DirectoryController::enter(Entry &e, DirState st)
+{
+    if (e.state != st)
+        ++stats_.stateEntries[static_cast<std::size_t>(st)];
+    e.state = st;
+}
+
 DirState
 DirectoryController::state(Addr block) const
 {
@@ -150,7 +158,7 @@ DirectoryController::handleMessage(const Msg &m)
         if (--e.pendingAcks == 0) {
             // All shared copies gone; grant exclusivity.
             const Msg &req = e.current;
-            e.state = DirState::exclusive;
+            enter(e, DirState::exclusive);
             e.sharers = 0;
             e.owner = req.src;
             respondAndFinish(e.genuineUpgrade
@@ -170,7 +178,7 @@ DirectoryController::handleMessage(const Msg &m)
             // Voluntary recall completed: the data is home, nobody
             // holds a copy, and there is no requester to answer.
             e.recall = false;
-            e.state = DirState::idle;
+            enter(e, DirState::idle);
             e.sharers = 0;
             e.owner = invalid_node;
             finish(m.block);
@@ -181,11 +189,11 @@ DirectoryController::handleMessage(const Msg &m)
             // The former owner already answered the requester
             // directly (three-hop transfer); just settle the state.
             if (req.type == MsgType::get_ro_request) {
-                e.state = DirState::shared;
+                enter(e, DirState::shared);
                 e.sharers = bit(req.src);
                 e.owner = invalid_node;
             } else {
-                e.state = DirState::exclusive;
+                enter(e, DirState::exclusive);
                 e.sharers = 0;
                 e.owner = req.src;
             }
@@ -198,7 +206,7 @@ DirectoryController::handleMessage(const Msg &m)
                 // Predicted read-modify-write: hand the reader an
                 // exclusive copy (§4.1).
                 ++stats_.exclusiveGrants;
-                e.state = DirState::exclusive;
+                enter(e, DirState::exclusive);
                 e.sharers = 0;
                 e.owner = req.src;
                 respondAndFinish(MsgType::get_rw_response, req.src,
@@ -207,13 +215,13 @@ DirectoryController::handleMessage(const Msg &m)
             }
             // Half-migratory: former owner invalidated; only the
             // reader holds a copy now.
-            e.state = DirState::shared;
+            enter(e, DirState::shared);
             e.sharers = bit(req.src);
             e.owner = invalid_node;
             respondAndFinish(MsgType::get_ro_response, req.src,
                              m.block, false);
         } else {
-            e.state = DirState::exclusive;
+            enter(e, DirState::exclusive);
             e.sharers = 0;
             e.owner = req.src;
             respondAndFinish(MsgType::get_rw_response, req.src,
@@ -230,7 +238,7 @@ DirectoryController::handleMessage(const Msg &m)
                       "downgrade_response outside a read transaction");
         e.pendingAcks = 0;
         const Msg &req = e.current;
-        e.state = DirState::shared;
+        enter(e, DirState::shared);
         e.sharers = bit(m.src) | bit(req.src);
         e.owner = invalid_node;
         if (cfg_.forwarding) {
@@ -288,13 +296,13 @@ DirectoryController::serveRead(Entry &e, const Msg &m)
             speculation_->grantExclusiveOnRead(m.block, m.src)) {
             // Predicted read-modify-write on an idle block (§4.1).
             ++stats_.exclusiveGrants;
-            e.state = DirState::exclusive;
+            enter(e, DirState::exclusive);
             e.owner = m.src;
             respondAndFinish(MsgType::get_rw_response, m.src, m.block,
                              true);
             break;
         }
-        e.state = DirState::shared;
+        enter(e, DirState::shared);
         e.sharers = bit(m.src);
         respondAndFinish(MsgType::get_ro_response, m.src, m.block,
                          true);
@@ -331,7 +339,7 @@ DirectoryController::serveWrite(Entry &e, const Msg &m,
     e.genuineUpgrade = genuine_upgrade;
     switch (e.state) {
       case DirState::idle:
-        e.state = DirState::exclusive;
+        enter(e, DirState::exclusive);
         e.owner = m.src;
         respondAndFinish(MsgType::get_rw_response, m.src, m.block,
                          true);
@@ -349,7 +357,7 @@ DirectoryController::serveWrite(Entry &e, const Msg &m,
         const std::uint64_t others = e.sharers & ~bit(m.src);
         if (others == 0) {
             // Upgrade with no other sharers: grant immediately.
-            e.state = DirState::exclusive;
+            enter(e, DirState::exclusive);
             e.sharers = 0;
             e.owner = m.src;
             respondAndFinish(genuine_upgrade

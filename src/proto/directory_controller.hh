@@ -20,6 +20,7 @@
 #ifndef COSMOS_PROTO_DIRECTORY_CONTROLLER_HH
 #define COSMOS_PROTO_DIRECTORY_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -69,12 +70,18 @@ class DirectorySpeculation
 struct DirectoryStats
 {
     std::uint64_t requests = 0;
+    /** Requests that arrived mid-transaction and had to wait behind
+     *  the busy entry -- the protocol's retry pressure (this
+     *  directory queues instead of NACKing). */
     std::uint64_t queued = 0;
     std::uint64_t invalsSent = 0;
     std::uint64_t downgradesSent = 0;
     std::uint64_t upgradePromotions = 0;
     std::uint64_t exclusiveGrants = 0; ///< speculative RMW grants
     std::uint64_t recalls = 0;         ///< voluntary owner recalls
+    /** Entry-state transitions, counted by the state entered
+     *  (index = DirState). */
+    std::array<std::uint64_t, 3> stateEntries{};
 };
 
 /**
@@ -151,6 +158,8 @@ class DirectoryController
     };
 
     Entry &entry(Addr block);
+    /** Transition @p e, keeping the per-state transition census. */
+    void enter(Entry &e, DirState st);
     void serve(const Msg &m);
     void serveRead(Entry &e, const Msg &m);
     void serveWrite(Entry &e, const Msg &m, bool genuine_upgrade);

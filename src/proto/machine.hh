@@ -15,16 +15,41 @@
 #ifndef COSMOS_PROTO_MACHINE_HH
 #define COSMOS_PROTO_MACHINE_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
 #include "common/addr.hh"
 #include "common/config.hh"
 #include "net/network.hh"
+#include "obs/metrics.hh"
 #include "proto/cache_controller.hh"
 #include "proto/directory_controller.hh"
 #include "proto/messages.hh"
 #include "sim/event_queue.hh"
+
+namespace cosmos::net
+{
+
+/** Classify coherence messages by type for per-type latency
+ *  histograms (net.latency_ticks.<type> metrics). */
+template <>
+struct TrafficClass<proto::Msg>
+{
+    static unsigned
+    of(const proto::Msg &m)
+    {
+        return static_cast<unsigned>(m.type);
+    }
+
+    static const char *
+    name(unsigned c)
+    {
+        return toString(static_cast<proto::MsgType>(c));
+    }
+};
+
+} // namespace cosmos::net
 
 namespace cosmos::proto
 {
@@ -79,6 +104,22 @@ class Machine
         return network_.stats();
     }
 
+    /** Messages delivered (local + remote), by type. */
+    const std::array<std::uint64_t, num_msg_types> &
+    deliveredByType() const
+    {
+        return deliveredByType_;
+    }
+
+    /**
+     * Publish the whole machine's observability surface into @p reg:
+     * event-queue counters ("sim.*"), interconnect counters and
+     * per-type latency histograms ("net.*"), and protocol activity
+     * summed over nodes ("proto.*"). Everything published here is a
+     * pure function of (configuration, seed).
+     */
+    void publishMetrics(obs::Registry &reg) const;
+
   private:
     void deliver(const Msg &m, bool local);
 
@@ -89,6 +130,7 @@ class Machine
     std::vector<std::unique_ptr<CacheController>> caches_;
     std::vector<std::unique_ptr<DirectoryController>> directories_;
     std::vector<MsgObserver *> observers_;
+    std::array<std::uint64_t, num_msg_types> deliveredByType_{};
     int iteration_ = 0;
 };
 

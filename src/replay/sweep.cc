@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "cosmos/predictor_bank.hh"
+#include "obs/trace_event.hh"
 #include "replay/sharding.hh"
 
 namespace cosmos::replay
@@ -57,6 +58,7 @@ SweepEngine::run(const std::vector<ReplayJob> &jobs)
 
     std::vector<ReplayResult> results(jobs.size());
     pool_.parallelFor(jobs.size(), [&](std::size_t i) {
+        COSMOS_SPAN_ARGS("replay", "cell", "job", i);
         const trace::Trace &t = provider_(jobs[i]);
         results[i] = replayTrace(t, jobs[i], default_shards);
     });
@@ -76,6 +78,8 @@ SweepEngine::replayTrace(const trace::Trace &t, const ReplayJob &job,
     shards = std::min(shards, useful);
 
     if (shards == 1) {
+        COSMOS_SPAN_ARGS("replay", "shard", "records",
+                         t.records.size());
         pred::PredictorBank bank(t.numNodes, job.config);
         bank.replay(t, job.maxIteration);
         return extract(bank);
@@ -84,6 +88,8 @@ SweepEngine::replayTrace(const trace::Trace &t, const ReplayJob &job,
     const auto parts = shardByBlock(t, shards);
     std::vector<ReplayResult> partial(parts.size());
     pool_.parallelFor(parts.size(), [&](std::size_t s) {
+        COSMOS_SPAN_ARGS("replay", "shard", "index", s, "records",
+                         parts[s].records.size());
         pred::PredictorBank bank(t.numNodes, job.config);
         bank.replay(parts[s].records, job.maxIteration);
         partial[s] = extract(bank);

@@ -25,6 +25,7 @@ ThreadPool::ThreadPool(unsigned threads)
         threads = defaultThreadCount();
     threads = std::max(threads, 1u);
     queues_.resize(threads);
+    counters_ = std::vector<SlotCounters>(threads + 1);
     threads_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         threads_.emplace_back([this, i] { workerLoop(i); });
@@ -56,9 +57,25 @@ ThreadPool::defaultThreadCount()
     return hw == 0 ? 1 : hw;
 }
 
+std::vector<ThreadPool::WorkerStats>
+ThreadPool::workerStats() const
+{
+    std::vector<WorkerStats> out(counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        out[i].tasksRun =
+            counters_[i].tasksRun.load(std::memory_order_relaxed);
+        out[i].steals =
+            counters_[i].steals.load(std::memory_order_relaxed);
+        out[i].idleWaits =
+            counters_[i].idleWaits.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
 void
 ThreadPool::submit(Task task)
 {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> guard(mutex_);
         if (tls_pool == this) {
@@ -72,8 +89,9 @@ ThreadPool::submit(Task task)
 }
 
 ThreadPool::Task
-ThreadPool::takeTask(unsigned self)
+ThreadPool::takeTask(unsigned self, bool &stolen)
 {
+    stolen = false;
     // Own deque first, newest task (LIFO keeps task trees local)...
     if (self < queues_.size() && !queues_[self].empty()) {
         Task t = std::move(queues_[self].back());
@@ -86,6 +104,7 @@ ThreadPool::takeTask(unsigned self)
         if (!q.empty()) {
             Task t = std::move(q.front());
             q.pop_front();
+            stolen = true;
             return t;
         }
     }
@@ -97,16 +116,29 @@ ThreadPool::workerLoop(unsigned index)
 {
     tls_pool = this;
     tls_worker = index;
+    SlotCounters &mine = counters_[index];
     for (;;) {
         Task task;
+        bool stolen = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [&] {
-                return stop_ || (task = takeTask(index)) != nullptr;
-            });
+            if ((task = takeTask(index, stolen)) == nullptr && !stop_) {
+                mine.idleWaits.fetch_add(1,
+                                         std::memory_order_relaxed);
+                cv_.wait(lock, [&] {
+                    return stop_ ||
+                           (task = takeTask(index, stolen)) != nullptr;
+                });
+            }
             if (!task && stop_)
                 return;
         }
+        if (stolen)
+            mine.steals.fetch_add(1, std::memory_order_relaxed);
+        // Count before running: once a task's effects are visible,
+        // so is its tasksRun tick (tests sum the counters at
+        // quiescence detected through the tasks' own side effects).
+        mine.tasksRun.fetch_add(1, std::memory_order_relaxed);
         task();
     }
 }
@@ -115,15 +147,20 @@ bool
 ThreadPool::runOneTask()
 {
     Task task;
+    bool stolen = false;
+    const unsigned self = tls_pool == this
+                              ? tls_worker
+                              : static_cast<unsigned>(queues_.size());
     {
         std::lock_guard<std::mutex> guard(mutex_);
-        const unsigned self =
-            tls_pool == this ? tls_worker
-                             : static_cast<unsigned>(queues_.size());
-        task = takeTask(self);
+        task = takeTask(self, stolen);
     }
     if (!task)
         return false;
+    SlotCounters &slot = counters_[self];
+    if (stolen && self < queues_.size())
+        slot.steals.fetch_add(1, std::memory_order_relaxed);
+    slot.tasksRun.fetch_add(1, std::memory_order_relaxed);
     task();
     return true;
 }

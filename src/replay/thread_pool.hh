@@ -17,8 +17,10 @@
 #ifndef COSMOS_REPLAY_THREAD_POOL_HH
 #define COSMOS_REPLAY_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -34,6 +36,23 @@ class ThreadPool
 {
   public:
     using Task = std::function<void()>;
+
+    /**
+     * Utilization counters of one executor. Slots 0..size()-1 are the
+     * workers; slot size() aggregates tasks run by outside threads
+     * helping through parallelFor(). Across all slots, tasksRun sums
+     * to exactly tasksSubmitted() once the pool is quiescent; the
+     * per-slot split (and steals/idleWaits) depends on scheduling and
+     * is *not* deterministic.
+     */
+    struct WorkerStats
+    {
+        std::uint64_t tasksRun = 0;
+        /** Tasks taken from a sibling's deque rather than our own. */
+        std::uint64_t steals = 0;
+        /** Times the worker found every deque empty and blocked. */
+        std::uint64_t idleWaits = 0;
+    };
 
     /** @param threads worker count; 0 = defaultThreadCount(). */
     explicit ThreadPool(unsigned threads = 0);
@@ -83,17 +102,39 @@ class ThreadPool
      */
     static unsigned defaultThreadCount();
 
+    /** Total tasks ever handed to submit(). */
+    std::uint64_t tasksSubmitted() const
+    {
+        return submitted_.load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot of the size()+1 executor counters (see WorkerStats). */
+    std::vector<WorkerStats> workerStats() const;
+
   private:
+    /** WorkerStats with atomic fields: the external-helper slot is
+     *  shared by arbitrarily many caller threads. */
+    struct SlotCounters
+    {
+        std::atomic<std::uint64_t> tasksRun{0};
+        std::atomic<std::uint64_t> steals{0};
+        std::atomic<std::uint64_t> idleWaits{0};
+    };
+
     void workerLoop(unsigned index);
 
     /** Pop-or-steal one queued task and run it. False if idle. */
     bool runOneTask();
 
-    /** Must hold mutex_. Pops from own deque, else steals. */
-    Task takeTask(unsigned self);
+    /** Must hold mutex_. Pops from own deque, else steals; sets
+     *  @p stolen when the task came from a sibling's deque. */
+    Task takeTask(unsigned self, bool &stolen);
 
     std::vector<std::deque<Task>> queues_;
     std::vector<std::thread> threads_;
+    /** size() + 1 slots; the last belongs to external helpers. */
+    std::vector<SlotCounters> counters_;
+    std::atomic<std::uint64_t> submitted_{0};
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "obs/trace_event.hh"
 
 namespace cosmos::sim
 {
@@ -13,6 +14,8 @@ EventQueue::scheduleAt(Tick when, EventFn fn)
     cosmos_assert(when >= now_, "scheduling into the past: when=", when,
                   " now=", now_);
     heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    if (heap_.size() > maxPending_)
+        maxPending_ = heap_.size();
 }
 
 void
@@ -47,10 +50,21 @@ EventQueue::runOne()
 std::uint64_t
 EventQueue::run(std::uint64_t max_events)
 {
+    COSMOS_SPAN("sim", "EventQueue::run");
     std::uint64_t n = 0;
     while (n < max_events && runOne())
         ++n;
     return n;
+}
+
+void
+EventQueue::publishMetrics(obs::Registry &reg,
+                           const std::string &prefix) const
+{
+    reg.counter(prefix + ".events_executed").add(executed_);
+    auto &depth = reg.gauge(prefix + ".queue_depth");
+    depth.set(static_cast<std::int64_t>(maxPending_));
+    depth.set(static_cast<std::int64_t>(pending()));
 }
 
 } // namespace cosmos::sim

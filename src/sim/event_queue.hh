@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace cosmos::sim
 {
@@ -66,6 +68,14 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
+    /** High-water mark of pending events (queue depth). */
+    std::size_t maxPending() const { return maxPending_; }
+
+    /** Publish execution counters under "<prefix>." (e.g.
+     *  "sim.events_executed"). All values are deterministic. */
+    void publishMetrics(obs::Registry &reg,
+                        const std::string &prefix = "sim") const;
+
   private:
     struct Entry
     {
@@ -99,6 +109,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t maxPending_ = 0;
 };
 
 } // namespace cosmos::sim

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <set>
@@ -176,6 +177,103 @@ TEST(Stats, DistributionTracksMinMaxMean)
     EXPECT_DOUBLE_EQ(d.min(), 2.0);
     EXPECT_DOUBLE_EQ(d.max(), 9.0);
     EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
+TEST(Stats, DistributionVarianceAndStddev)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    d.sample(5.0);
+    // A single sample has no spread by definition.
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    d.sample(9.0);
+    d.sample(1.0);
+    // Population variance of {5, 9, 1}: mean 5, deviations 0/4/-4.
+    EXPECT_NEAR(d.variance(), 32.0 / 3.0, 1e-9);
+    EXPECT_NEAR(d.stddev(), std::sqrt(32.0 / 3.0), 1e-9);
+}
+
+TEST(Stats, DistributionMergeMatchesPooledSamples)
+{
+    Distribution a, b, pooled;
+    for (double v : {1.0, 2.0, 3.0}) {
+        a.sample(v);
+        pooled.sample(v);
+    }
+    for (double v : {10.0, 20.0}) {
+        b.sample(v);
+        pooled.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_DOUBLE_EQ(a.mean(), pooled.mean());
+    EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+    EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+    EXPECT_DOUBLE_EQ(a.variance(), pooled.variance());
+
+    Distribution empty;
+    a.merge(empty); // no-op
+    EXPECT_EQ(a.count(), pooled.count());
+}
+
+TEST(Stats, HistogramEmptyAnswersZero)
+{
+    Histogram h = Histogram::linear(0.0, 10.0, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Stats, HistogramSingleSampleAnswersExactly)
+{
+    Histogram h = Histogram::exponential(1.0, 2.0, 10);
+    h.record(37.0);
+    EXPECT_EQ(h.count(), 1u);
+    // The bucket upper bound (64) clamps to the observed range.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 37.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 37.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 37.0);
+}
+
+TEST(Stats, HistogramPercentilesAndOverflowBucket)
+{
+    Histogram h = Histogram::linear(0.0, 100.0, 10);
+    for (int v = 1; v <= 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9), 90.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+
+    h.record(1e9); // overflow bucket; answers with the observed max
+    EXPECT_EQ(h.counts().back(), 1u);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e9);
+}
+
+TEST(Stats, HistogramMergeMatchesPooledRecording)
+{
+    Histogram a = Histogram::linear(0.0, 50.0, 5);
+    Histogram b = Histogram::linear(0.0, 50.0, 5);
+    Histogram pooled = Histogram::linear(0.0, 50.0, 5);
+    for (int v = 0; v < 30; ++v) {
+        (v % 2 ? a : b).record(v);
+        pooled.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_EQ(a.counts(), pooled.counts());
+    EXPECT_DOUBLE_EQ(a.sum(), pooled.sum());
+    EXPECT_DOUBLE_EQ(a.percentile(0.9), pooled.percentile(0.9));
+
+    // Merging into a default-constructed histogram adopts the layout.
+    Histogram fresh;
+    fresh.merge(pooled);
+    EXPECT_EQ(fresh.counts(), pooled.counts());
+
+    Histogram empty = Histogram::linear(0.0, 50.0, 5);
+    a.merge(empty); // zero-count merge is a no-op
+    EXPECT_EQ(a.count(), pooled.count());
 }
 
 TEST(Stats, CounterSet)
@@ -359,6 +457,65 @@ TEST(FlatMap, RandomizedAgainstUnorderedMap)
         ASSERT_NE(it, ref.end());
         EXPECT_EQ(v, it->second);
     });
+}
+
+TEST(FlatMap, LoadFactorAndProbeStatsUnderRandomizedChurn)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    EXPECT_DOUBLE_EQ(m.loadFactor(), 0.0);
+    EXPECT_EQ(m.probeLengthStats().samples, 0u);
+    EXPECT_DOUBLE_EQ(m.probeLengthStats().mean(), 0.0);
+
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::mt19937_64 rng(0xfacade);
+    for (int step = 0; step < 30000; ++step) {
+        const std::uint64_t key = rng() % 4096;
+        if (rng() % 3 == 0) {
+            m.erase(key);
+            ref.erase(key);
+        } else {
+            m.obtain(key) = key;
+            ref[key] = key;
+        }
+
+        if (step % 1000 != 0)
+            continue;
+        // Invariants that must hold at any point of the churn:
+        // occupancy under the 7/8 growth limit, one probe-length
+        // sample per live entry, and a mean no smaller than the
+        // 1-probe best case.
+        EXPECT_EQ(m.size(), ref.size());
+        EXPECT_LE(m.loadFactor(), 7.0 / 8.0 + 1e-12);
+        if (m.capacity() != 0) {
+            EXPECT_DOUBLE_EQ(
+                m.loadFactor(),
+                static_cast<double>(m.size()) /
+                    static_cast<double>(m.capacity()));
+        }
+        const auto ps = m.probeLengthStats();
+        EXPECT_EQ(ps.samples, m.size());
+        if (ps.samples > 0) {
+            EXPECT_GE(ps.mean(), 1.0);
+            EXPECT_GE(ps.longest, 1u);
+            EXPECT_LE(ps.total,
+                      static_cast<std::uint64_t>(ps.longest) *
+                          ps.samples);
+        }
+        std::uint64_t visited = 0, total = 0;
+        m.forEachProbeLength([&](unsigned d) {
+            ++visited;
+            total += d;
+            EXPECT_GE(d, 1u);
+            EXPECT_LE(d, ps.longest);
+        });
+        EXPECT_EQ(visited, ps.samples);
+        EXPECT_EQ(total, ps.total);
+    }
+    // The churned table still agrees with the reference.
+    for (const auto &[k, v] : ref) {
+        ASSERT_NE(m.find(k), nullptr);
+        EXPECT_EQ(*m.find(k), v);
+    }
 }
 
 TEST(FlatMap, ArenaBackedTablesBumpAllocate)

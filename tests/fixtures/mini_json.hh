@@ -1,0 +1,293 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for test assertions.
+ *
+ * Just enough JSON to validate the simulator's exports (metrics
+ * documents, Chrome trace-event files): objects, arrays, strings
+ * with the escapes our writers emit, numbers, true/false/null.
+ * Throws std::runtime_error with a byte offset on malformed input,
+ * so EXPECT_NO_THROW(parse(text)) doubles as a validity check.
+ *
+ * Not a general-purpose parser -- no \uXXXX decoding (the escape is
+ * consumed but not translated), no surrogate handling, doubles only.
+ */
+
+#ifndef COSMOS_TESTS_FIXTURES_MINI_JSON_HH
+#define COSMOS_TESTS_FIXTURES_MINI_JSON_HH
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mini_json
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value
+{
+    enum class Type
+    {
+        object,
+        array,
+        string,
+        number,
+        boolean,
+        null,
+    };
+
+    Type type = Type::null;
+    std::map<std::string, ValuePtr> object;
+    std::vector<ValuePtr> array;
+    std::string string;
+    double number = 0.0;
+    bool boolean = false;
+
+    bool isObject() const { return type == Type::object; }
+    bool isArray() const { return type == Type::array; }
+    bool isString() const { return type == Type::string; }
+    bool isNumber() const { return type == Type::number; }
+
+    /** Object member, or nullptr when absent / not an object. */
+    const Value *
+    get(const std::string &key) const
+    {
+        if (type != Type::object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : it->second.get();
+    }
+
+    bool has(const std::string &key) const
+    {
+        return get(key) != nullptr;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    ValuePtr
+    parse()
+    {
+        ValuePtr v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing bytes after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default:  return parseNumber();
+        }
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            ValuePtr key = parseString();
+            expect(':');
+            if (!v->object.emplace(key->string, parseValue()).second)
+                fail("duplicate key \"" + key->string + "\"");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v->array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::string;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"':  v->string += '"'; break;
+                  case '\\': v->string += '\\'; break;
+                  case '/':  v->string += '/'; break;
+                  case 'b':  v->string += '\b'; break;
+                  case 'f':  v->string += '\f'; break;
+                  case 'n':  v->string += '\n'; break;
+                  case 'r':  v->string += '\r'; break;
+                  case 't':  v->string += '\t'; break;
+                  case 'u':
+                    // Consume 4 hex digits; not decoded.
+                    for (int i = 0; i < 4; ++i) {
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_])))
+                            fail("bad \\u escape");
+                        ++pos_;
+                    }
+                    v->string += '?';
+                    break;
+                  default: fail("bad escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+            } else {
+                v->string += c;
+            }
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        auto isNumChar = [](char c) {
+            return (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                   c == '.' || c == 'e' || c == 'E';
+        };
+        while (pos_ < text_.size() && isNumChar(text_[pos_]))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        std::size_t used = 0;
+        const std::string tok = text_.substr(start, pos_ - start);
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::number;
+        try {
+            v->number = std::stod(tok, &used);
+        } catch (const std::exception &) {
+            fail("bad number \"" + tok + "\"");
+        }
+        if (used != tok.size())
+            fail("bad number \"" + tok + "\"");
+        return v;
+    }
+
+    ValuePtr
+    parseBool()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::boolean;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v->boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v->boolean = false;
+            pos_ += 5;
+        } else {
+            fail("expected true/false");
+        }
+        return v;
+    }
+
+    ValuePtr
+    parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("expected null");
+        pos_ += 4;
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::null;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Parse @p text; throws std::runtime_error on malformed input. */
+inline ValuePtr
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace mini_json
+
+#endif // COSMOS_TESTS_FIXTURES_MINI_JSON_HH

@@ -53,6 +53,49 @@ TEST(ThreadPool, RunsEverySubmittedTask)
     EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, WorkerStatsSumToTasksSubmitted)
+{
+    constexpr int n = 500;
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < n; ++i)
+        pool.submit([&] { done.fetch_add(1); });
+    while (done.load() < n)
+        std::this_thread::yield();
+
+    EXPECT_EQ(pool.tasksSubmitted(), static_cast<std::uint64_t>(n));
+    const auto stats = pool.workerStats();
+    // One slot per worker plus the external-helper slot.
+    ASSERT_EQ(stats.size(), pool.size() + 1);
+    std::uint64_t run = 0;
+    for (const auto &w : stats)
+        run += w.tasksRun;
+    EXPECT_EQ(run, pool.tasksSubmitted());
+}
+
+TEST(ThreadPool, ParallelForTasksAllAccountedAcrossSlots)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(200);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    // A drain task that finds no index left can still be queued when
+    // parallelFor returns; workers consume such stragglers promptly,
+    // so the counters converge on the submit count.
+    const std::uint64_t submitted = pool.tasksSubmitted();
+    auto sumRun = [&pool] {
+        std::uint64_t run = 0;
+        for (const auto &w : pool.workerStats())
+            run += w.tasksRun;
+        return run;
+    };
+    while (sumRun() < submitted)
+        std::this_thread::yield();
+    EXPECT_EQ(sumRun(), submitted);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
 {
     ThreadPool pool(4);

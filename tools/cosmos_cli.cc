@@ -22,11 +22,20 @@
  *                    else hardware concurrency
  *   --out FILE       (run) save the trace here; (figures) output
  *                    directory (default ".")
+ *   --metrics-out F  write the metrics registry as stable JSON
+ *                    (run / analyze / sweep); the export contains
+ *                    only Stability::stable metrics, so it is
+ *                    byte-identical across runs and thread counts
+ *   --trace-out F    record span/instant events for the whole
+ *                    command and write Chrome trace-event JSON
+ *                    (load in chrome://tracing or ui.perfetto.dev)
  *
  * Examples:
  *   cosmos run moldyn --iterations 20 --out moldyn.trace
  *   cosmos analyze moldyn.trace --depth 3
  *   cosmos sweep unstructured
+ *   cosmos sweep micro_migratory --metrics-out metrics.json \
+ *       --trace-out trace.json
  *   cosmos accel micro_rmw
  *   cosmos figures appbt --out figs/
  */
@@ -39,6 +48,8 @@
 
 #include "common/table.hh"
 #include "cosmos/predictor_bank.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_event.hh"
 #include "harness/accel_runner.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
@@ -63,6 +74,8 @@ struct CliArgs
     unsigned filter = 0;
     unsigned threads = 0;
     std::string out;
+    std::string metricsOut;
+    std::string traceOut;
 };
 
 [[noreturn]] void
@@ -74,7 +87,8 @@ usage()
         "<list|run|analyze|sweep|accel|figures|census> [target] "
         "[--iterations N] [--seed S]\n"
         "              [--policy half-migratory|downgrade] "
-        "[--depth D] [--filter F] [--threads N] [--out FILE]\n");
+        "[--depth D] [--filter F] [--threads N] [--out FILE]\n"
+        "              [--metrics-out FILE] [--trace-out FILE]\n");
     std::exit(2);
 }
 
@@ -115,6 +129,10 @@ parse(int argc, char **argv)
             args.threads = static_cast<unsigned>(std::atoi(value()));
         } else if (flag == "--out") {
             args.out = value();
+        } else if (flag == "--metrics-out") {
+            args.metricsOut = value();
+        } else if (flag == "--trace-out") {
+            args.traceOut = value();
         } else {
             usage();
         }
@@ -134,13 +152,26 @@ makeRunConfig(const CliArgs &args)
     return cfg;
 }
 
+/** Write @p reg to @p path and confirm on stdout (no-op when the
+ *  --metrics-out flag was absent). */
+void
+maybeWriteMetrics(const obs::Registry &reg, const std::string &path)
+{
+    if (path.empty())
+        return;
+    if (reg.writeJson(path))
+        std::printf("metrics written to %s\n", path.c_str());
+}
+
 void
 printAnalysis(const trace::Trace &trace, unsigned depth,
-              unsigned filter)
+              unsigned filter, obs::Registry *reg = nullptr)
 {
     pred::PredictorBank bank(trace.numNodes,
                              pred::CosmosConfig{depth, filter});
     bank.replay(trace);
+    if (reg != nullptr)
+        bank.publishMetrics(*reg);
     const auto &acc = bank.accuracy();
     std::printf("Cosmos depth %u, filter %u over %zu messages:\n",
                 depth, filter, trace.records.size());
@@ -183,7 +214,11 @@ cmdRun(const CliArgs &args)
 {
     if (args.target.empty())
         usage();
-    auto result = harness::runWorkload(makeRunConfig(args));
+    obs::Registry reg;
+    harness::RunConfig cfg = makeRunConfig(args);
+    if (!args.metricsOut.empty())
+        cfg.metrics = &reg;
+    auto result = harness::runWorkload(cfg);
     std::printf("%s: %zu messages, %zu blocks, %llu events, "
                 "%llu ns simulated\n",
                 args.target.c_str(), result.trace.records.size(),
@@ -207,8 +242,10 @@ cmdRun(const CliArgs &args)
         trace::saveTrace(args.out, result.trace);
         std::printf("trace written to %s\n", args.out.c_str());
     } else {
-        printAnalysis(result.trace, args.depth, args.filter);
+        printAnalysis(result.trace, args.depth, args.filter,
+                      args.metricsOut.empty() ? nullptr : &reg);
     }
+    maybeWriteMetrics(reg, args.metricsOut);
     return 0;
 }
 
@@ -220,7 +257,10 @@ cmdAnalyze(const CliArgs &args)
     const auto trace = trace::loadTrace(args.target);
     std::printf("trace: app=%s nodes=%u iterations=%d\n",
                 trace.app.c_str(), trace.numNodes, trace.iterations);
-    printAnalysis(trace, args.depth, args.filter);
+    obs::Registry reg;
+    printAnalysis(trace, args.depth, args.filter,
+                  args.metricsOut.empty() ? nullptr : &reg);
+    maybeWriteMetrics(reg, args.metricsOut);
     return 0;
 }
 
@@ -240,8 +280,13 @@ cmdSweep(const CliArgs &args)
                  .policy = args.policy,
                  .seed = args.seed,
                  .config = pred::CosmosConfig{depth, filter}});
-    const auto results =
-        harness::runSweep(jobs, {.threads = args.threads});
+    obs::Registry reg;
+    harness::SweepOptions opts{.threads = args.threads};
+    if (!args.metricsOut.empty())
+        opts.metrics = &reg;
+    const auto results = harness::runSweep(jobs, opts);
+    if (!args.metricsOut.empty())
+        harness::publishSweepMetrics(jobs, results, reg);
 
     TextTable table("overall accuracy (%), " + args.target);
     table.setHeader({"Depth", "filter 0", "filter 1", "filter 2"});
@@ -254,6 +299,7 @@ cmdSweep(const CliArgs &args)
         table.addRow(row);
     }
     std::fputs(table.render().c_str(), stdout);
+    maybeWriteMetrics(reg, args.metricsOut);
     return 0;
 }
 
@@ -333,12 +379,9 @@ cmdAccel(const CliArgs &args)
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const CliArgs &args)
 {
-    const CliArgs args = parse(argc, argv);
     if (args.command == "list")
         return cmdList();
     if (args.command == "run")
@@ -354,4 +397,19 @@ main(int argc, char **argv)
     if (args.command == "census")
         return cmdCensus(args);
     usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args = parse(argc, argv);
+    if (!args.traceOut.empty())
+        obs::startTracing();
+    const int rc = dispatch(args);
+    if (!args.traceOut.empty() && obs::writeTrace(args.traceOut))
+        std::printf("trace events written to %s\n",
+                    args.traceOut.c_str());
+    return rc;
 }
