@@ -12,6 +12,11 @@ Schemas:
     chrome-trace  a Chrome trace-event file: {"traceEvents": [...]}
                   where every event carries name/cat/ph/ts/pid/tid
                   (and dur for complete events)
+    fuzz          a cosmos-fuzz-v1 document from `cosmos fuzz --out`:
+                  campaign counters, a "clean" verdict consistent with
+                  the failure list, and per-failure violations each
+                  carrying kind/block/when/nodes/detail/history plus
+                  a shrunk reproducer no larger than the original
 
 Exits non-zero with a per-file message on the first failure, so it
 slots directly into scripts/ci.sh.
@@ -77,10 +82,64 @@ def check_chrome_trace(doc):
     return None
 
 
+VIOLATION_KINDS = {
+    "multiple_writers", "writer_and_readers", "directory_mismatch",
+    "conservation", "liveness", "assertion",
+}
+
+VIOLATION_KEYS = {"kind", "block", "when", "nodes", "detail",
+                  "history"}
+
+FAILURE_KEYS = {"seed", "delivered", "original_ops", "shrunk_ops",
+                "suppressed", "violations", "reproducer"}
+
+
+def check_fuzz(doc):
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if doc.get("format") != "cosmos-fuzz-v1":
+        return f"unexpected format field: {doc.get('format')!r}"
+    for key in ("base_seed", "num_seeds", "cases_run"):
+        if not isinstance(doc.get(key), int):
+            return f"missing or non-integer {key!r}"
+    if not isinstance(doc.get("clean"), bool):
+        return "missing boolean \"clean\""
+    failures = doc.get("failures")
+    if not isinstance(failures, list):
+        return "missing \"failures\" array"
+    if doc["clean"] != (len(failures) == 0):
+        return "\"clean\" verdict disagrees with the failure list"
+    for i, f in enumerate(failures):
+        if not isinstance(f, dict):
+            return f"failure {i} is not an object"
+        missing = FAILURE_KEYS - f.keys()
+        if missing:
+            return f"failure {i} missing keys: {sorted(missing)}"
+        if not f["violations"]:
+            return f"failure {i} carries no violations"
+        if f["shrunk_ops"] > f["original_ops"]:
+            return (f"failure {i}: shrunk reproducer is larger than "
+                    f"the original case")
+        for j, v in enumerate(f["violations"]):
+            if not isinstance(v, dict):
+                return f"failure {i} violation {j} is not an object"
+            missing = VIOLATION_KEYS - v.keys()
+            if missing:
+                return (f"failure {i} violation {j} missing keys: "
+                        f"{sorted(missing)}")
+            if v["kind"] not in VIOLATION_KINDS:
+                return (f"failure {i} violation {j} has unknown "
+                        f"kind {v['kind']!r}")
+            if not isinstance(v["nodes"], list):
+                return f"failure {i} violation {j} nodes not a list"
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--schema", default="any",
-                    choices=["any", "metrics", "chrome-trace"])
+                    choices=["any", "metrics", "chrome-trace",
+                             "fuzz"])
     ap.add_argument("files", nargs="+", metavar="FILE")
     args = ap.parse_args()
 
@@ -96,6 +155,8 @@ def main():
             error = check_metrics(doc)
         elif args.schema == "chrome-trace":
             error = check_chrome_trace(doc)
+        elif args.schema == "fuzz":
+            error = check_fuzz(doc)
         if error:
             print(f"check_json: {path}: {error}", file=sys.stderr)
             return 1

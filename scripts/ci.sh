@@ -61,6 +61,25 @@ python3 scripts/check_json.py --schema chrome-trace \
 python3 scripts/check_json.py build/BENCH_*.json
 echo "== observability smoke OK"
 
+# Fuzz smoke: 200 fixed seeds through the schedule fuzzer + invariant
+# checker must come back clean and emit a valid cosmos-fuzz-v1
+# artifact. Then the negative leg: a planted lost-invalidation bug
+# (--inject-ignore-inval) MUST be caught -- the run has to exit
+# non-zero and its artifact has to record the violations -- proving
+# the checker can actually see protocol bugs, not just green runs.
+./build/tools/cosmos fuzz --seeds 200 --seed 1 \
+    --out artifacts/fuzz_clean.json > /dev/null
+python3 scripts/check_json.py --schema fuzz artifacts/fuzz_clean.json
+if ./build/tools/cosmos fuzz --seeds 5 --seed 1 \
+    --inject-ignore-inval 2 \
+    --out artifacts/fuzz_planted_bug.json > /dev/null; then
+    echo "fuzz smoke: planted protocol bug was NOT caught" >&2
+    exit 1
+fi
+python3 scripts/check_json.py --schema fuzz \
+    artifacts/fuzz_planted_bug.json
+echo "== fuzz smoke OK (200 clean seeds, planted bug caught)"
+
 # Release-mode perf smoke (-O2 -DNDEBUG): the golden-gated throughput
 # bench replays the full Table 5/6 grid, fails the build on any
 # accuracy drift from tests/fixtures/golden_accuracy.hh, and publishes

@@ -1,0 +1,367 @@
+#include "check/fuzzer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "proto/machine.hh"
+#include "runtime/processor.hh"
+
+namespace cosmos::check
+{
+
+namespace
+{
+
+// Independent derived streams per seed.
+constexpr std::uint64_t case_stream = 0xca5e00ULL;
+constexpr std::uint64_t jitter_stream = 0x717732ULL;
+
+Addr
+blockAddr(const MachineConfig &cfg, unsigned b)
+{
+    // One block per page: homes spread round-robin across nodes, and
+    // all contention is concentrated on numBlocks hot blocks.
+    return Addr{b} * cfg.pageBytes;
+}
+
+std::string
+formatOp(const runtime::Op &op)
+{
+    std::ostringstream os;
+    switch (op.kind) {
+      case runtime::Op::Kind::read:
+        os << "R 0x" << std::hex << op.addr;
+        break;
+      case runtime::Op::Kind::write:
+        os << "W 0x" << std::hex << op.addr;
+        break;
+      case runtime::Op::Kind::think:
+        os << "T " << op.delay;
+        break;
+      default:
+        os << "?";
+        break;
+    }
+    return os.str();
+}
+
+void
+appendJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+appendViolation(std::ostream &os, const Violation &v,
+                const char *indent)
+{
+    os << indent << "{\"kind\": ";
+    appendJsonString(os, toString(v.kind));
+    os << ", \"block\": " << v.block << ", \"when\": " << v.when
+       << ", \"nodes\": [";
+    for (std::size_t i = 0; i < v.nodes.size(); ++i)
+        os << (i ? ", " : "") << static_cast<unsigned>(v.nodes[i]);
+    os << "], \"detail\": ";
+    appendJsonString(os, v.detail);
+    os << ", \"history\": [";
+    for (std::size_t i = 0; i < v.history.size(); ++i) {
+        os << (i ? ", " : "");
+        appendJsonString(os, v.history[i]);
+    }
+    os << "]}";
+}
+
+} // namespace
+
+std::size_t
+FuzzCase::totalOps() const
+{
+    std::size_t n = 0;
+    for (const auto &p : programs)
+        n += p.size();
+    return n;
+}
+
+FuzzCase
+makeCase(std::uint64_t seed, const FuzzOptions &opts)
+{
+    Rng rng(seed ^ case_stream);
+
+    FuzzCase c;
+    c.seed = seed;
+    c.cfg.numNodes = opts.numNodes;
+    c.cfg.seed = seed;
+    // Vary the protocol-shaping knobs per seed so the campaign covers
+    // every flow family (half-migratory vs downgrade owner reads,
+    // 3-hop forwarding, replacement, overlapping misses).
+    c.cfg.ownerReadPolicy = rng.nextBool(0.5)
+                                ? OwnerReadPolicy::half_migratory
+                                : OwnerReadPolicy::downgrade;
+    c.cfg.forwarding = rng.nextBool(0.5);
+    if (rng.nextBool(0.25))
+        c.cfg.cacheCapacityBlocks =
+            2 + static_cast<unsigned>(rng.nextBelow(opts.numBlocks));
+    if (rng.nextBool(0.3))
+        c.cfg.memoryLevelParallelism = 2;
+    c.cfg.fault.ignoreInvalEvery = opts.ignoreInvalEvery;
+
+    c.programs.resize(opts.numNodes);
+    for (NodeId p = 0; p < opts.numNodes; ++p) {
+        runtime::Program &prog = c.programs[p];
+        prog.reserve(opts.opsPerNode);
+        for (unsigned i = 0; i < opts.opsPerNode; ++i) {
+            const Addr a = blockAddr(
+                c.cfg,
+                static_cast<unsigned>(rng.nextBelow(opts.numBlocks)));
+            switch (rng.nextBelow(10)) {
+              case 8:
+              case 9:
+                prog.push_back({runtime::Op::Kind::think, 0, 0,
+                                1 + static_cast<Tick>(
+                                        rng.nextBelow(32))});
+                break;
+              case 0:
+              case 1:
+              case 2:
+              case 3:
+                prog.push_back({runtime::Op::Kind::read, a, 0, 0});
+                break;
+              default:
+                prog.push_back({runtime::Op::Kind::write, a, 0, 0});
+                break;
+            }
+        }
+    }
+    return c;
+}
+
+CaseResult
+runCase(const FuzzCase &c, const FuzzOptions &opts)
+{
+    CaseResult r;
+    r.seed = c.seed;
+
+    // Declared before the machine: the jitter closure captures it and
+    // lives inside the machine's network.
+    Rng jrng(c.seed ^ jitter_stream);
+
+    proto::Machine machine(c.cfg);
+    if (opts.maxJitter > 0) {
+        machine.network().setDeliveryJitter(
+            [&jrng, &opts](NodeId, NodeId, const proto::Msg &) {
+                return static_cast<Tick>(
+                    jrng.nextBelow(opts.maxJitter + 1));
+            });
+    }
+
+    InvariantEngine engine(machine, opts.check);
+    runtime::Runtime rt(machine);
+
+    bool drained = false;
+    try {
+        FailureTrap trap;
+        rt.runPrograms(c.programs);
+        drained = true;
+    } catch (const RecoverableError &e) {
+        engine.noteFailure(e);
+    }
+    // Quiescent invariants only hold for a drained queue; after a
+    // trapped panic the machine is frozen mid-transaction and the
+    // sweep would report that, not the root cause.
+    if (drained)
+        engine.checkQuiescent();
+
+    r.failed = !engine.clean();
+    r.violations = engine.violations();
+    r.suppressed = engine.suppressed();
+    r.delivered = engine.delivered();
+    return r;
+}
+
+FuzzCase
+shrinkCase(const FuzzCase &failing, const FuzzOptions &opts)
+{
+    FuzzCase best = failing;
+    unsigned runs = 0;
+
+    const auto stillFails = [&](const FuzzCase &cand) {
+        ++runs;
+        return runCase(cand, opts).failed;
+    };
+
+    bool progress = true;
+    while (progress && runs < opts.maxShrinkRuns) {
+        progress = false;
+        for (NodeId p = 0;
+             p < best.programs.size() && runs < opts.maxShrinkRuns;
+             ++p) {
+            for (std::size_t len =
+                     std::max<std::size_t>(1,
+                                           best.programs[p].size() / 2);
+                 len >= 1; len /= 2) {
+                std::size_t i = 0;
+                while (i < best.programs[p].size() &&
+                       runs < opts.maxShrinkRuns) {
+                    FuzzCase cand = best;
+                    auto &ops = cand.programs[p];
+                    const std::size_t take =
+                        std::min(len, ops.size() - i);
+                    ops.erase(ops.begin() +
+                                  static_cast<std::ptrdiff_t>(i),
+                              ops.begin() +
+                                  static_cast<std::ptrdiff_t>(i + take));
+                    if (stillFails(cand)) {
+                        best = std::move(cand);
+                        progress = true;
+                        // Same index now names the next chunk.
+                    } else {
+                        i += len;
+                    }
+                }
+                if (len == 1)
+                    break;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<std::string>
+formatPrograms(const std::vector<runtime::Program> &programs)
+{
+    std::vector<std::string> out;
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+        if (programs[p].empty())
+            continue;
+        std::ostringstream os;
+        os << "node " << p << ": ";
+        for (std::size_t i = 0; i < programs[p].size(); ++i)
+            os << (i ? ", " : "") << formatOp(programs[p][i]);
+        out.push_back(os.str());
+    }
+    return out;
+}
+
+Failure
+replaySeed(std::uint64_t seed, const FuzzOptions &opts)
+{
+    const FuzzCase c = makeCase(seed, opts);
+    Failure f;
+    f.result = runCase(c, opts);
+    f.originalOps = c.totalOps();
+    f.shrunkOps = f.originalOps;
+    f.reproducer = formatPrograms(c.programs);
+    if (f.result.failed && opts.shrink) {
+        const FuzzCase small = shrinkCase(c, opts);
+        f.shrunkOps = small.totalOps();
+        f.reproducer = formatPrograms(small.programs);
+    }
+    return f;
+}
+
+FuzzReport
+fuzz(const FuzzOptions &opts, std::ostream *log)
+{
+    FuzzReport report;
+    for (unsigned i = 0; i < opts.numSeeds; ++i) {
+        const std::uint64_t seed = opts.baseSeed + i;
+        const FuzzCase c = makeCase(seed, opts);
+        CaseResult r = runCase(c, opts);
+        ++report.casesRun;
+        if (!r.failed)
+            continue;
+
+        Failure f;
+        f.result = std::move(r);
+        f.originalOps = c.totalOps();
+        f.shrunkOps = f.originalOps;
+        f.reproducer = formatPrograms(c.programs);
+        if (opts.shrink) {
+            const FuzzCase small = shrinkCase(c, opts);
+            f.shrunkOps = small.totalOps();
+            f.reproducer = formatPrograms(small.programs);
+        }
+        if (log != nullptr) {
+            *log << "fuzz: seed " << seed << " FAILED ("
+                 << f.result.violations.size() << " violation(s), "
+                 << f.shrunkOps << "/" << f.originalOps
+                 << " ops after shrink)\n";
+            if (!f.result.violations.empty())
+                *log << f.result.violations.front().format() << "\n";
+        }
+        report.failures.push_back(std::move(f));
+    }
+    if (log != nullptr) {
+        *log << "fuzz: " << report.casesRun << " case(s), "
+             << report.failures.size() << " failure(s)\n";
+    }
+    return report;
+}
+
+bool
+writeReport(const FuzzReport &report, const FuzzOptions &opts,
+            const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+
+    os << "{\n  \"format\": \"cosmos-fuzz-v1\",\n";
+    os << "  \"base_seed\": " << opts.baseSeed << ",\n";
+    os << "  \"num_seeds\": " << opts.numSeeds << ",\n";
+    os << "  \"cases_run\": " << report.casesRun << ",\n";
+    os << "  \"clean\": " << (report.clean() ? "true" : "false")
+       << ",\n";
+    os << "  \"config\": {\"nodes\": "
+       << static_cast<unsigned>(opts.numNodes)
+       << ", \"blocks\": " << opts.numBlocks
+       << ", \"ops_per_node\": " << opts.opsPerNode
+       << ", \"max_jitter\": " << opts.maxJitter
+       << ", \"ignore_inval_every\": " << opts.ignoreInvalEvery
+       << "},\n";
+    os << "  \"failures\": [";
+    for (std::size_t i = 0; i < report.failures.size(); ++i) {
+        const Failure &f = report.failures[i];
+        os << (i ? "," : "") << "\n    {\"seed\": " << f.result.seed
+           << ", \"delivered\": " << f.result.delivered
+           << ", \"original_ops\": " << f.originalOps
+           << ", \"shrunk_ops\": " << f.shrunkOps
+           << ", \"suppressed\": " << f.result.suppressed << ",\n";
+        os << "     \"violations\": [";
+        for (std::size_t v = 0; v < f.result.violations.size(); ++v) {
+            os << (v ? ",\n       " : "");
+            appendViolation(os, f.result.violations[v], "");
+        }
+        os << "],\n     \"reproducer\": [";
+        for (std::size_t r = 0; r < f.reproducer.size(); ++r) {
+            os << (r ? ", " : "");
+            appendJsonString(os, f.reproducer[r]);
+        }
+        os << "]}";
+    }
+    os << (report.failures.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace cosmos::check

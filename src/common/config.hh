@@ -84,6 +84,27 @@ struct MachineConfig
      */
     bool forwarding = false;
 
+    /**
+     * Deliberate protocol-bug injection, exclusively for exercising
+     * the checker (src/check). Production configurations leave every
+     * field zero; the fuzzer's negative tests and CI's
+     * catch-the-planted-bug stage turn them on.
+     */
+    struct FaultInjection
+    {
+        /**
+         * Every Nth inval_ro_request to a live shared copy is
+         * acknowledged *without* invalidating the line -- a lost
+         * invalidation, the classic directory-protocol bug. The
+         * directory then grants exclusivity while a stale read-only
+         * copy survives, which the single-writer/multiple-reader
+         * invariant must catch. 0 = off.
+         */
+        unsigned ignoreInvalEvery = 0;
+    };
+
+    FaultInjection fault{};
+
     /** Seed for all derived RNG streams. */
     std::uint64_t seed = 0x5eedc05305ULL;
 

@@ -10,7 +10,26 @@ namespace cosmos
 namespace
 {
 std::atomic<bool> warnings_enabled{true};
+
+/** Nesting depth of FailureTrap scopes on this thread. */
+thread_local int failure_trap_depth = 0;
 } // namespace
+
+FailureTrap::FailureTrap()
+{
+    ++failure_trap_depth;
+}
+
+FailureTrap::~FailureTrap()
+{
+    --failure_trap_depth;
+}
+
+bool
+failuresAreRecoverable()
+{
+    return failure_trap_depth > 0;
+}
 
 void
 setWarningsEnabled(bool enabled)
@@ -21,6 +40,8 @@ setWarningsEnabled(bool enabled)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (failuresAreRecoverable())
+        throw RecoverableError(file, line, msg);
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }

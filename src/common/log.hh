@@ -2,7 +2,10 @@
  * @file
  * Error and status reporting, modelled after gem5's logging.hh.
  *
- * panic()  -- an internal invariant was violated: a cosmos bug. Aborts.
+ * panic()  -- an internal invariant was violated: a cosmos bug. Aborts
+ *             the process, unless a FailureTrap is active on the
+ *             calling thread, in which case a RecoverableError is
+ *             thrown so checking tools can report instead of dying.
  * fatal()  -- the user asked for something impossible (bad config).
  *             Exits with an error code.
  * warn()   -- something is suspicious but simulation can continue.
@@ -13,10 +16,52 @@
 #define COSMOS_COMMON_LOG_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace cosmos
 {
+
+/**
+ * A failed internal check (cosmos_assert / cosmos_panic) caught by an
+ * active FailureTrap instead of aborting the process. Carries the
+ * failure site so checkers can fold it into a structured report.
+ */
+class RecoverableError : public std::runtime_error
+{
+  public:
+    RecoverableError(const char *file, int line, const std::string &msg)
+        : std::runtime_error(msg), file_(file), line_(line)
+    {
+    }
+
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+
+  private:
+    const char *file_;
+    int line_;
+};
+
+/**
+ * RAII scope during which panic/assert failures on this thread throw
+ * RecoverableError instead of aborting. Nestable; thread-local, so a
+ * trap in one replay worker never masks an abort in another. The
+ * protocol checker and fuzzer run simulations under a trap so a
+ * violated invariant becomes a check::Violation, not a dead process.
+ */
+class FailureTrap
+{
+  public:
+    FailureTrap();
+    ~FailureTrap();
+
+    FailureTrap(const FailureTrap &) = delete;
+    FailureTrap &operator=(const FailureTrap &) = delete;
+};
+
+/** True while a FailureTrap is active on the calling thread. */
+bool failuresAreRecoverable();
 
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
@@ -72,10 +117,21 @@ concat(const Args &...args)
 #define cosmos_inform(...)                                                 \
     ::cosmos::informImpl(::cosmos::detail::concat(__VA_ARGS__))
 
-/** Assert an internal invariant; active in all build types. */
+/**
+ * Assert an internal invariant; active in all build types.
+ *
+ * The condition is evaluated exactly once into a local bool so the
+ * check cannot be compiled out from under a side-effecting expression:
+ * even if a future build mode drops the *report*, the evaluation
+ * stays. Condition expressions must still be side-effect-free --
+ * relying on an assert for real work hides the work from readers.
+ * The failure path routes through panicImpl, so an active FailureTrap
+ * turns it into a catchable RecoverableError for the checker.
+ */
 #define cosmos_assert(cond, ...)                                           \
     do {                                                                   \
-        if (!(cond)) {                                                     \
+        const bool cosmos_assert_ok_ = static_cast<bool>(cond);            \
+        if (!cosmos_assert_ok_) [[unlikely]] {                             \
             ::cosmos::panicImpl(                                           \
                 __FILE__, __LINE__,                                        \
                 ::cosmos::detail::concat("assertion failed: " #cond " ",   \

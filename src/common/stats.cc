@@ -172,6 +172,16 @@ Histogram::percentile(double q) const
     return max_;
 }
 
+bool
+Histogram::mergeable(const Histogram &other) const
+{
+    const auto layoutless = [](const Histogram &h) {
+        return h.bounds_.empty() && h.counts_.empty() && h.count_ == 0;
+    };
+    return layoutless(*this) || layoutless(other) ||
+           bounds_ == other.bounds_;
+}
+
 void
 Histogram::merge(const Histogram &other)
 {
@@ -181,6 +191,9 @@ Histogram::merge(const Histogram &other)
         *this = other;
         return;
     }
+    // Checked before any mutation: a mismatched-layout merge reports
+    // through the recoverable assert path and leaves *this unchanged
+    // rather than summing counts across incompatible bucketings.
     cosmos_assert(bounds_ == other.bounds_,
                   "merging histograms with different bucket layouts");
     if (count_ == 0) {

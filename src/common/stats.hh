@@ -114,6 +114,13 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
+
+    /**
+     * Empty-histogram sentinel: mean(), min(), max(), and
+     * percentile() all answer exactly 0.0 when count() == 0. Callers
+     * that must distinguish "no samples" from "samples at zero" check
+     * count() first; nothing here ever reads uninitialized state.
+     */
     double mean() const;
     double min() const;
     double max() const;
@@ -121,8 +128,9 @@ class Histogram
     /**
      * Estimated value at quantile @p q in [0, 1]: the upper bound of
      * the bucket where the cumulative count crosses q (clamped to the
-     * observed min/max so single-sample histograms answer exactly).
-     * Returns 0 when empty.
+     * observed min/max, so a single-sample histogram answers that
+     * sample exactly at every quantile). Returns the 0.0 sentinel
+     * when empty.
      */
     double percentile(double q) const;
 
@@ -132,7 +140,20 @@ class Histogram
     /** Per-bucket counts; counts().back() is the overflow bucket. */
     const std::vector<std::uint64_t> &counts() const { return counts_; }
 
-    /** Sum another histogram in; bucket bounds must be identical. */
+    /**
+     * True if merge(other) is well-defined: either histogram is still
+     * layout-less (never constructed with bounds and never recorded
+     * into), or the two bucket layouts are identical.
+     */
+    bool mergeable(const Histogram &other) const;
+
+    /**
+     * Sum another histogram in; bucket bounds must be identical
+     * (layout-less empty histograms adopt the other's layout).
+     * Merging mismatched layouts is a checked error reported through
+     * the recoverable assert path, and *this is left unchanged --
+     * never a garbage mixture of two bucketings.
+     */
     void merge(const Histogram &other);
 
   private:

@@ -71,6 +71,19 @@ class Network
     }
 
     /**
+     * Extra delivery delay for a remote message, consulted per send.
+     * Returning varying (e.g. seeded-random) delays permutes the
+     * *global* interleaving of deliveries while the per-(src, dst)
+     * channel stays FIFO -- exactly the schedule freedom a real
+     * interconnect has, and the axis the protocol fuzzer explores.
+     */
+    using JitterFn = std::function<Tick(NodeId src, NodeId dst,
+                                        const Payload &payload)>;
+
+    /** Install (or clear, with nullptr) the delivery-jitter hook. */
+    void setDeliveryJitter(JitterFn fn) { jitter_ = std::move(fn); }
+
+    /**
      * Send @p payload from @p src to @p dst.
      *
      * Remote messages incur NI + wire + NI latency and stay ordered
@@ -89,6 +102,8 @@ class Network
             stats_.localMessages++;
         } else {
             arrive = eq_.now() + 2 * niLatency_ + wireLatency_;
+            if (jitter_)
+                arrive += jitter_(src, dst, payload);
             auto &last = lastArrival_[channelKey(src, dst)];
             arrive = std::max(arrive, last + 1);
             last = arrive;
@@ -131,6 +146,7 @@ class Network
     Tick wireLatency_;
     Tick niLatency_;
     std::vector<Handler> handlers_;
+    JitterFn jitter_;
     std::unordered_map<std::uint32_t, Tick> lastArrival_;
     NetworkStats stats_;
 };

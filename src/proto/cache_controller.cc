@@ -200,6 +200,13 @@ CacheController::handleMessage(const Msg &m)
       case MsgType::inval_ro_request:
         ++stats_.invalsReceived;
         if (st == LineState::read_only) {
+            // Fault injection (checker exercise): pretend to lose
+            // every Nth invalidation -- ack home but keep the copy.
+            if (cfg_.fault.ignoreInvalEvery != 0 &&
+                ++ignoredInvalTick_ % cfg_.fault.ignoreInvalEvery == 0) {
+                send(MsgType::inval_ro_response, m.src, block);
+                break;
+            }
             setState(block, LineState::invalid);
         } else if (st == LineState::wait_upg) {
             // Our shared copy is invalidated while our upgrade is

@@ -133,6 +133,8 @@ class CacheController
 
     std::unordered_map<Addr, LineState> lines_;
     std::size_t validLines_ = 0;
+    /** Counts inval_ro_requests for FaultInjection::ignoreInvalEvery. */
+    unsigned ignoredInvalTick_ = 0;
     /** Outstanding misses: block -> completion callback (an MSHR). */
     std::unordered_map<Addr, DoneFn> pending_;
     CacheStats stats_;

@@ -78,6 +78,8 @@ Machine::deliver(const Msg &m, bool local)
         caches_[m.dst]->handleMessage(m);
     else
         directories_[m.dst]->handleMessage(m);
+    if (probe_)
+        probe_(m, local, eq_.now());
 }
 
 void

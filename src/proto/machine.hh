@@ -95,6 +95,25 @@ class Machine
     /** Register an observer (not owned). */
     void addObserver(MsgObserver *obs);
 
+    /**
+     * Probe called after *every* delivered message -- local ones too,
+     * unlike MsgObserver -- once the receiving controller has fully
+     * handled it, so the probe sees the post-transition machine
+     * state. This is the invariant checker's attachment point
+     * (src/check); at most one probe is installed at a time, and
+     * nullptr clears it.
+     */
+    using DeliveryProbe =
+        std::function<void(const Msg &m, bool local, Tick when)>;
+
+    void setDeliveryProbe(DeliveryProbe probe)
+    {
+        probe_ = std::move(probe);
+    }
+
+    /** The interconnect (schedule-fuzzing hooks live on it). */
+    net::Network<Msg> &network() { return network_; }
+
     /** Tag subsequent messages with application iteration @p it. */
     void setIteration(int it) { iteration_ = it; }
     int iteration() const { return iteration_; }
@@ -130,6 +149,7 @@ class Machine
     std::vector<std::unique_ptr<CacheController>> caches_;
     std::vector<std::unique_ptr<DirectoryController>> directories_;
     std::vector<MsgObserver *> observers_;
+    DeliveryProbe probe_;
     std::array<std::uint64_t, num_msg_types> deliveredByType_{};
     int iteration_ = 0;
 };

@@ -19,6 +19,7 @@
 #include "common/arena.hh"
 #include "common/config.hh"
 #include "common/flat_map.hh"
+#include "common/log.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -560,6 +561,129 @@ TEST(FlatMap, ClearEmptiesButKeepsCapacity)
     EXPECT_EQ(m.find(5), nullptr);
     m.insert(5, 2);
     EXPECT_EQ(*m.find(5), 2);
+}
+
+/** Identity hash: home slot = key & (capacity - 1), so keys chosen
+ *  with high low-bits build clusters that wrap the table seam. */
+struct IdentityHash
+{
+    std::size_t
+    operator()(std::uint64_t x) const
+    {
+        return static_cast<std::size_t>(x);
+    }
+};
+
+TEST(FlatMap, EraseBackwardShiftsClustersAcrossWrapSeam)
+{
+    // Capacity stays 8 (six entries < 7/8 load). Keys homing at
+    // slots 6 and 7 force one collision cluster spanning the
+    // end-of-array seam: slots 6, 7, 0, 1, 2.
+    FlatMap<std::uint64_t, int, IdentityHash> m;
+    for (std::uint64_t k : {6, 14, 22, 7, 15})
+        m.insert(k, static_cast<int>(k));
+    ASSERT_EQ(m.capacity(), 8u);
+    const auto before = m.probeLengthStats();
+    EXPECT_EQ(before.samples, 5u);
+    EXPECT_GE(before.longest, 4u); // the cluster really wrapped
+
+    // Erasing the cluster head must backward-shift the survivors
+    // through the seam, not orphan them behind a hole.
+    ASSERT_TRUE(m.erase(6));
+    for (std::uint64_t k : {14, 22, 7, 15}) {
+        ASSERT_NE(m.find(k), nullptr) << "lost key " << k;
+        EXPECT_EQ(*m.find(k), static_cast<int>(k));
+    }
+    const auto after = m.probeLengthStats();
+    EXPECT_EQ(after.samples, 4u);
+    // Every survivor moved one slot closer to home.
+    EXPECT_EQ(after.total, before.total - before.samples);
+
+    // Erase from the middle of the wrapped run, then the tail.
+    ASSERT_TRUE(m.erase(7));
+    ASSERT_TRUE(m.erase(15));
+    for (std::uint64_t k : {14, 22}) {
+        ASSERT_NE(m.find(k), nullptr) << "lost key " << k;
+    }
+    EXPECT_FALSE(m.erase(6));
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, WrapSeamChurnAgainstReference)
+{
+    // All keys home into the top few slots of whatever power-of-two
+    // capacity the table currently has (low 12 bits in [0xff8,
+    // 0xfff]), so insert/erase churn constantly builds and tears
+    // down wrapped clusters -- the erase() backward shift runs
+    // through the seam thousands of times.
+    FlatMap<std::uint64_t, std::uint64_t, IdentityHash> m;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::mt19937_64 rng(0x5ea0);
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t key =
+            ((rng() % 64) << 12) | (0xff8 + rng() % 8);
+        if (rng() % 3 == 0) {
+            EXPECT_EQ(m.erase(key), ref.erase(key) == 1);
+        } else {
+            m.obtain(key) = static_cast<std::uint64_t>(step);
+            ref[key] = static_cast<std::uint64_t>(step);
+        }
+        ASSERT_EQ(m.size(), ref.size());
+
+        if (step % 500 != 0)
+            continue;
+        // A backward-shift bug shows up as an unfindable live key or
+        // a probe-length census that disagrees with size().
+        for (const auto &[k, v] : ref) {
+            ASSERT_NE(m.find(k), nullptr)
+                << "step " << step << " lost key 0x" << std::hex << k;
+            ASSERT_EQ(*m.find(k), v);
+        }
+        EXPECT_EQ(m.probeLengthStats().samples, m.size());
+    }
+    m.forEach([&](const std::uint64_t &k, std::uint64_t v) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+    });
+}
+
+TEST(Stats, HistogramMergeableClassifiesLayouts)
+{
+    Histogram a = Histogram::linear(0.0, 10.0, 10);
+    Histogram b = Histogram::linear(0.0, 10.0, 10);
+    Histogram c = Histogram::linear(0.0, 20.0, 10);
+    Histogram fresh;
+
+    EXPECT_TRUE(a.mergeable(b));
+    EXPECT_FALSE(a.mergeable(c));
+    // A layoutless histogram adopts the other side's layout.
+    EXPECT_TRUE(fresh.mergeable(a));
+    EXPECT_TRUE(a.mergeable(fresh));
+}
+
+TEST(Stats, HistogramMismatchedMergeReportsAndLeavesTargetIntact)
+{
+    Histogram a = Histogram::linear(0.0, 10.0, 10);
+    Histogram b = Histogram::linear(0.0, 20.0, 10);
+    a.record(3.0);
+    b.record(15.0);
+    ASSERT_FALSE(a.mergeable(b));
+
+    bool reported = false;
+    try {
+        FailureTrap trap;
+        a.merge(b);
+    } catch (const RecoverableError &e) {
+        reported = true;
+        EXPECT_NE(std::string(e.what()).find("bucket layouts"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(reported);
+    // Strong guarantee: the failed merge mutated nothing.
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.sum(), 3.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 3.0);
 }
 
 } // namespace

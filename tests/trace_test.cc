@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "trace/trace.hh"
@@ -173,6 +174,70 @@ TEST(TraceIo, TryLoadMissingFileReturnsNullopt)
 {
     EXPECT_FALSE(
         tryLoadTrace("/nonexistent/dir/nothing.trace").has_value());
+}
+
+TEST(TraceIo, TryLoadCorruptFilesOnDiskReturnNullopt)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "/cosmos_corrupt_trace";
+    fs::create_directories(dir);
+
+    // A valid two-record file to corrupt from.
+    Trace t;
+    t.app = "corruptible";
+    TraceRecord r;
+    r.block = 0x40;
+    r.type = proto::MsgType::get_ro_request;
+    t.records.push_back(r);
+    r.block = 0x80;
+    r.type = proto::MsgType::get_rw_response;
+    t.records.push_back(r);
+    const std::string good = dir + "/good.trace";
+    saveTrace(good, t);
+    ASSERT_TRUE(tryLoadTrace(good).has_value());
+
+    std::ifstream in(good, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+
+    const auto writeFile = [&](const std::string &name,
+                               const std::string &content) {
+        const std::string path = dir + "/" + name;
+        std::ofstream os(path, std::ios::binary);
+        os.write(content.data(),
+                 static_cast<std::streamsize>(content.size()));
+        return path;
+    };
+
+    // Empty file.
+    EXPECT_FALSE(tryLoadTrace(writeFile("empty.trace", ""))
+                     .has_value());
+
+    // Bad magic: flip one bit of the first byte.
+    std::string bad_magic = bytes;
+    bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x01);
+    EXPECT_FALSE(tryLoadTrace(writeFile("badmagic.trace", bad_magic))
+                     .has_value());
+
+    // Truncated mid-header (inside the app-name string).
+    EXPECT_FALSE(tryLoadTrace(writeFile("header.trace",
+                                        bytes.substr(0, 6)))
+                     .has_value());
+
+    // Short read mid-record: the count promises two records but the
+    // file ends partway through the second.
+    EXPECT_FALSE(
+        tryLoadTrace(writeFile("midrecord.trace",
+                               bytes.substr(0, bytes.size() - 9)))
+            .has_value());
+
+    // The pristine file still loads after all that.
+    const auto back = tryLoadTrace(good);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->records, t.records);
+    fs::remove_all(dir);
 }
 
 TEST(TraceIo, AtomicSaveRoundTripsAndLeavesNoTempFile)

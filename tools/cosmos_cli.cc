@@ -11,6 +11,22 @@
  *   accel <app> [options]        baseline vs predictor-accelerated run
  *   figures <app> [options]      write Graphviz signature graphs
  *   census <app> [options]       sharing-pattern census
+ *   fuzz [options]               schedule-fuzz the protocol under
+ *                                the invariant checker (src/check)
+ *
+ * Fuzz options:
+ *   --seeds N        number of fuzz cases (default 100)
+ *   --seed S         first seed of the campaign
+ *   --replay S       re-run exactly one seed (and shrink if it fails)
+ *   --nodes N        nodes per fuzz machine (default 4)
+ *   --blocks N       contended blocks (default 8)
+ *   --ops N          random ops per node (default 64)
+ *   --jitter T       max extra delivery delay in ticks (default 64)
+ *   --inject-ignore-inval N
+ *                    plant a lost-invalidation bug: every Nth
+ *                    inval_ro ack skips the invalidation (negative
+ *                    testing -- the run must FAIL)
+ *   --out FILE       write the cosmos-fuzz-v1 JSON artifact
  *
  * Common options:
  *   --iterations N   override the workload's iteration count
@@ -43,9 +59,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "check/fuzzer.hh"
 #include "common/table.hh"
 #include "cosmos/predictor_bank.hh"
 #include "obs/metrics.hh"
@@ -76,6 +94,16 @@ struct CliArgs
     std::string out;
     std::string metricsOut;
     std::string traceOut;
+
+    // fuzz-only options
+    unsigned fuzzSeeds = 100;
+    bool haveReplay = false;
+    std::uint64_t replaySeed = 0;
+    unsigned fuzzNodes = 4;
+    unsigned fuzzBlocks = 8;
+    unsigned fuzzOps = 64;
+    Tick fuzzJitter = 64;
+    unsigned injectIgnoreInval = 0;
 };
 
 [[noreturn]] void
@@ -84,11 +112,15 @@ usage()
     std::fprintf(
         stderr,
         "usage: cosmos "
-        "<list|run|analyze|sweep|accel|figures|census> [target] "
+        "<list|run|analyze|sweep|accel|figures|census|fuzz> [target] "
         "[--iterations N] [--seed S]\n"
         "              [--policy half-migratory|downgrade] "
         "[--depth D] [--filter F] [--threads N] [--out FILE]\n"
-        "              [--metrics-out FILE] [--trace-out FILE]\n");
+        "              [--metrics-out FILE] [--trace-out FILE]\n"
+        "       cosmos fuzz [--seeds N] [--seed S] [--replay S] "
+        "[--nodes N] [--blocks N] [--ops N]\n"
+        "              [--jitter T] [--inject-ignore-inval N] "
+        "[--out FILE]\n");
     std::exit(2);
 }
 
@@ -133,6 +165,23 @@ parse(int argc, char **argv)
             args.metricsOut = value();
         } else if (flag == "--trace-out") {
             args.traceOut = value();
+        } else if (flag == "--seeds") {
+            args.fuzzSeeds = static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--replay") {
+            args.haveReplay = true;
+            args.replaySeed = std::strtoull(value(), nullptr, 0);
+        } else if (flag == "--nodes") {
+            args.fuzzNodes = static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--blocks") {
+            args.fuzzBlocks =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--ops") {
+            args.fuzzOps = static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--jitter") {
+            args.fuzzJitter = std::strtoull(value(), nullptr, 0);
+        } else if (flag == "--inject-ignore-inval") {
+            args.injectIgnoreInval =
+                static_cast<unsigned>(std::atoi(value()));
         } else {
             usage();
         }
@@ -379,6 +428,77 @@ cmdAccel(const CliArgs &args)
     return 0;
 }
 
+check::FuzzOptions
+makeFuzzOptions(const CliArgs &args)
+{
+    check::FuzzOptions opts;
+    opts.numSeeds = args.fuzzSeeds;
+    opts.baseSeed = args.seed;
+    opts.numNodes = static_cast<NodeId>(args.fuzzNodes);
+    opts.numBlocks = args.fuzzBlocks;
+    opts.opsPerNode = args.fuzzOps;
+    opts.maxJitter = args.fuzzJitter;
+    opts.ignoreInvalEvery = args.injectIgnoreInval;
+    return opts;
+}
+
+void
+printReplayHint(const check::FuzzOptions &opts, std::uint64_t seed)
+{
+    std::printf("replay with: cosmos fuzz --replay %llu --nodes %u "
+                "--blocks %u --ops %u --jitter %llu",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned>(opts.numNodes), opts.numBlocks,
+                opts.opsPerNode,
+                static_cast<unsigned long long>(opts.maxJitter));
+    if (opts.ignoreInvalEvery != 0)
+        std::printf(" --inject-ignore-inval %u", opts.ignoreInvalEvery);
+    std::printf("\n");
+}
+
+int
+cmdFuzz(const CliArgs &args)
+{
+    const check::FuzzOptions opts = makeFuzzOptions(args);
+
+    check::FuzzReport report;
+    if (args.haveReplay) {
+        check::Failure f = check::replaySeed(args.replaySeed, opts);
+        report.casesRun = 1;
+        std::printf("replay seed %llu: %s (%llu messages "
+                    "delivered)\n",
+                    static_cast<unsigned long long>(args.replaySeed),
+                    f.result.failed ? "FAILED" : "clean",
+                    static_cast<unsigned long long>(
+                        f.result.delivered));
+        for (const auto &v : f.result.violations)
+            std::printf("%s\n", v.format().c_str());
+        if (f.result.failed) {
+            std::printf("shrunk reproducer (%zu of %zu ops):\n",
+                        f.shrunkOps, f.originalOps);
+            for (const auto &line : f.reproducer)
+                std::printf("  %s\n", line.c_str());
+            report.failures.push_back(std::move(f));
+        }
+    } else {
+        report = check::fuzz(opts, &std::cout);
+        for (const auto &f : report.failures)
+            printReplayHint(opts, f.result.seed);
+    }
+
+    if (!args.out.empty()) {
+        if (check::writeReport(report, opts, args.out)) {
+            std::printf("fuzz report written to %s\n",
+                        args.out.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.out.c_str());
+            return 1;
+        }
+    }
+    return report.clean() ? 0 : 1;
+}
+
 int
 dispatch(const CliArgs &args)
 {
@@ -396,6 +516,8 @@ dispatch(const CliArgs &args)
         return cmdFigures(args);
     if (args.command == "census")
         return cmdCensus(args);
+    if (args.command == "fuzz")
+        return cmdFuzz(args);
     usage();
 }
 
