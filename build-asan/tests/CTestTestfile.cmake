@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/proto_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/machine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pattern_census_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cosmos_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/variants_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/directed_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/accel_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/harness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/figures_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/golden_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/online_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/regression_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/replay_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/check_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/model_test[1]_include.cmake")

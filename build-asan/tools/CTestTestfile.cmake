@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build-asan/tools/cosmos" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build-asan/tools/cosmos" "run" "micro_rmw" "--iterations" "6")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build-asan/tools/cosmos" "sweep" "micro_migratory" "--iterations" "8")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_accel "/root/repo/build-asan/tools/cosmos" "accel" "micro_rmw" "--iterations" "10")
+set_tests_properties(cli_accel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_figures "/root/repo/build-asan/tools/cosmos" "figures" "micro_producer_consumer" "--iterations" "8" "--out" "/root/repo/build-asan/tools/cli_figs")
+set_tests_properties(cli_figures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_census "/root/repo/build-asan/tools/cosmos" "census" "micro_migratory" "--iterations" "8")
+set_tests_properties(cli_census PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "/usr/bin/cmake" "-DCLI=/root/repo/build-asan/tools/cosmos" "-DWORK=/root/repo/build-asan/tools" "-P" "/root/repo/tools/trace_roundtrip_test.cmake")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build-asan/tools/cosmos" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_target "/root/repo/build-asan/tools/cosmos" "run")
+set_tests_properties(cli_missing_target PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_flag "/root/repo/build-asan/tools/cosmos" "run" "micro_rmw" "--bogus")
+set_tests_properties(cli_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -17,6 +17,12 @@ Schemas:
                   the failure list, and per-failure violations each
                   carrying kind/block/when/nodes/detail/history plus
                   a shrunk reproducer no larger than the original
+    model         a cosmos-model-v1 document from `cosmos model
+                  --out`: exploration counters, a "clean" verdict
+                  consistent with the violation list and completeness,
+                  a transition table whose entries carry sorted
+                  module/state/input keys with at least one outcome
+                  each, and lint findings with known kinds
 
 Exits non-zero with a per-file message on the first failure, so it
 slots directly into scripts/ci.sh.
@@ -135,11 +141,89 @@ def check_fuzz(doc):
     return None
 
 
+MODEL_CONFIG_KEYS = {"nodes", "blocks", "reorder", "policy",
+                     "forwarding", "ignore_inval_every"}
+
+MODEL_COUNTER_KEYS = {"states", "transitions", "max_depth",
+                      "deadlocks", "failed_steps"}
+
+MODEL_ENTRY_KEYS = {"module", "state", "input", "context", "hits",
+                    "outcomes"}
+
+LINT_KINDS = {"unreachable_state", "dead_input", "nondeterministic"}
+
+
+def check_model(doc):
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if doc.get("format") != "cosmos-model-v1":
+        return f"unexpected format field: {doc.get('format')!r}"
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        return "missing \"config\" object"
+    missing = MODEL_CONFIG_KEYS - config.keys()
+    if missing:
+        return f"config missing keys: {sorted(missing)}"
+    for key in ("complete", "clean"):
+        if not isinstance(doc.get(key), bool):
+            return f"missing boolean {key!r}"
+    for key in MODEL_COUNTER_KEYS:
+        if not isinstance(doc.get(key), int):
+            return f"missing or non-integer {key!r}"
+    violations = doc.get("violations")
+    if not isinstance(violations, list):
+        return "missing \"violations\" array"
+    if doc["clean"] != (len(violations) == 0 and doc["complete"]):
+        return ("\"clean\" verdict disagrees with the violation "
+                "list / completeness")
+    for j, v in enumerate(violations):
+        if not isinstance(v, dict):
+            return f"violation {j} is not an object"
+        missing = VIOLATION_KEYS - v.keys()
+        if missing:
+            return f"violation {j} missing keys: {sorted(missing)}"
+        if v["kind"] not in VIOLATION_KINDS:
+            return f"violation {j} has unknown kind {v['kind']!r}"
+    table = doc.get("table")
+    if not isinstance(table, dict):
+        return "missing \"table\" object"
+    entries = table.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return "table has no entries"
+    if not isinstance(table.get("nondeterministic"), int):
+        return "table missing integer \"nondeterministic\""
+    for i, e in enumerate(entries):
+        if not isinstance(e, dict):
+            return f"table entry {i} is not an object"
+        missing = MODEL_ENTRY_KEYS - e.keys()
+        if missing:
+            return f"table entry {i} missing keys: {sorted(missing)}"
+        if e["module"] not in ("cache", "directory"):
+            return (f"table entry {i} has unknown module "
+                    f"{e['module']!r}")
+        if not isinstance(e["outcomes"], list) or not e["outcomes"]:
+            return f"table entry {i} has no outcomes"
+        if not (isinstance(e["hits"], int) and e["hits"] > 0):
+            return f"table entry {i} has no hits"
+    lint = doc.get("lint")
+    if not isinstance(lint, list):
+        return "missing \"lint\" array"
+    for i, f in enumerate(lint):
+        if not isinstance(f, dict):
+            return f"lint finding {i} is not an object"
+        if f.get("kind") not in LINT_KINDS:
+            return (f"lint finding {i} has unknown kind "
+                    f"{f.get('kind')!r}")
+        if not isinstance(f.get("detail"), str):
+            return f"lint finding {i} missing \"detail\""
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--schema", default="any",
                     choices=["any", "metrics", "chrome-trace",
-                             "fuzz"])
+                             "fuzz", "model"])
     ap.add_argument("files", nargs="+", metavar="FILE")
     args = ap.parse_args()
 
@@ -157,6 +241,8 @@ def main():
             error = check_chrome_trace(doc)
         elif args.schema == "fuzz":
             error = check_fuzz(doc)
+        elif args.schema == "model":
+            error = check_model(doc)
         if error:
             print(f"check_json: {path}: {error}", file=sys.stderr)
             return 1

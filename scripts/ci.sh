@@ -80,6 +80,44 @@ python3 scripts/check_json.py --schema fuzz \
     artifacts/fuzz_planted_bug.json
 echo "== fuzz smoke OK (200 clean seeds, planted bug caught)"
 
+# Model-check smoke: the exhaustive checker must close out the
+# 2-node and 3-node spaces cleanly with the pinned golden counts (a
+# count drift is a protocol-semantics change that must be reviewed)
+# and a valid cosmos-model-v1 artifact. Negative leg: the planted
+# lost-invalidation bug MUST produce an SWMR counterexample, and that
+# counterexample MUST reproduce when replayed through the real
+# simulator (cosmos fuzz --replay-model exits non-zero on
+# confirmation -- a clean replay means the bridge is broken).
+./build/tools/cosmos model --out artifacts/model_2n.json > /dev/null
+./build/tools/cosmos model --nodes 3 \
+    --out artifacts/model_3n.json > /dev/null
+python3 scripts/check_json.py --schema model \
+    artifacts/model_2n.json artifacts/model_3n.json
+grep -q '"states": 48,' artifacts/model_2n.json
+grep -q '"transitions": 86,' artifacts/model_2n.json
+grep -q '"nondeterministic": 0' artifacts/model_2n.json
+grep -q '"states": 488,' artifacts/model_3n.json
+grep -q '"transitions": 1152,' artifacts/model_3n.json
+if ./build/tools/cosmos model --inject-ignore-inval 1 \
+    --out artifacts/model_planted_bug.json \
+    --counterexample-out artifacts/model_counterexample.txt \
+    > /dev/null; then
+    echo "model smoke: planted protocol bug was NOT caught" >&2
+    exit 1
+fi
+python3 scripts/check_json.py --schema model \
+    artifacts/model_planted_bug.json
+grep -q '"clean": false' artifacts/model_planted_bug.json
+grep -q 'writer_and_readers' artifacts/model_planted_bug.json
+if ./build/tools/cosmos fuzz \
+    --replay-model artifacts/model_counterexample.txt > /dev/null; then
+    echo "model smoke: counterexample did NOT reproduce in the" \
+         "simulator" >&2
+    exit 1
+fi
+echo "== model-check smoke OK (48/488-state closures, planted bug" \
+     "caught and replayed)"
+
 # Release-mode perf smoke (-O2 -DNDEBUG): the golden-gated throughput
 # bench replays the full Table 5/6 grid, fails the build on any
 # accuracy drift from tests/fixtures/golden_accuracy.hh, and publishes
@@ -106,5 +144,32 @@ start=$(now_ms)
 ./build-tsan/tests/replay_test
 ./build-tsan/tests/harness_test --gtest_filter='TraceCache.*'
 echo "== tsan replay/trace-cache suites ($(($(now_ms) - start)) ms)"
+
+# AddressSanitizer + UBSan pass over the protocol, checker, and model
+# suites: the model checker snapshots/restores live controllers
+# thousands of times per run, which is exactly where lifetime and
+# aliasing bugs would hide. -fno-sanitize-recover makes any report
+# fatal, so a passing run is a clean run.
+# shellcheck disable=SC2046
+cmake -B build-asan $(gen_for build-asan) -DCOSMOS_ASAN=ON
+cmake --build build-asan --target proto_test check_test model_test
+start=$(now_ms)
+./build-asan/tests/proto_test
+./build-asan/tests/check_test
+./build-asan/tests/model_test
+echo "== asan proto/check/model suites ($(($(now_ms) - start)) ms)"
+
+# Static lint over the sources that host invariants (src/model,
+# src/check): clang-tidy reads the compilation database the main
+# build exports. Gated on availability -- hosts without clang-tidy
+# skip the stage rather than fail it.
+if command -v clang-tidy > /dev/null 2>&1; then
+    start=$(now_ms)
+    clang-tidy -p build --quiet \
+        src/model/*.cc src/check/*.cc
+    echo "== clang-tidy model/check ($(($(now_ms) - start)) ms)"
+else
+    echo "== clang-tidy not installed; lint stage skipped"
+fi
 
 echo "CI OK"

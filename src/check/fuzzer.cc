@@ -1,8 +1,11 @@
 #include "check/fuzzer.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -362,6 +365,106 @@ writeReport(const FuzzReport &report, const FuzzOptions &opts,
     }
     os << (report.failures.empty() ? "]\n" : "\n  ]\n") << "}\n";
     return static_cast<bool>(os);
+}
+
+namespace
+{
+
+/** Extract the unsigned value of "key=<num>" from @p line, or
+ *  @p fallback when the key is absent. */
+unsigned
+parseField(const std::string &line, const std::string &key,
+           unsigned fallback)
+{
+    const std::string needle = key + "=";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return fallback;
+    return static_cast<unsigned>(
+        std::strtoul(line.c_str() + at + needle.size(), nullptr, 10));
+}
+
+/** Extract the string value of "key=<word>" from @p line. */
+std::string
+parseWord(const std::string &line, const std::string &key)
+{
+    const std::string needle = key + "=";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return {};
+    const std::size_t begin = at + needle.size();
+    std::size_t end = begin;
+    while (end < line.size() && !std::isspace(
+                                    static_cast<unsigned char>(line[end])))
+        ++end;
+    return line.substr(begin, end - begin);
+}
+
+} // namespace
+
+FuzzCase
+loadCounterexample(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        cosmos_fatal("cannot open counterexample file ", path);
+
+    std::string line;
+    if (!std::getline(in, line) ||
+        line != "# cosmos-model-counterexample-v1") {
+        cosmos_fatal(path, " is not a cosmos-model-counterexample-v1 "
+                           "file");
+    }
+
+    FuzzCase c;
+    c.seed = 0;
+    runtime::ProgramBuilder *builder = nullptr;
+    std::unique_ptr<runtime::ProgramBuilder> owned;
+
+    while (std::getline(in, line)) {
+        if (line.rfind("# config", 0) == 0) {
+            c.cfg.numNodes = static_cast<NodeId>(
+                parseField(line, "nodes", c.cfg.numNodes));
+            c.cfg.forwarding = parseField(line, "forwarding", 0) != 0;
+            c.cfg.fault.ignoreInvalEvery =
+                parseField(line, "inject_ignore_inval", 0);
+            const std::string policy = parseWord(line, "policy");
+            if (policy == "downgrade")
+                c.cfg.ownerReadPolicy = OwnerReadPolicy::downgrade;
+            else
+                c.cfg.ownerReadPolicy =
+                    OwnerReadPolicy::half_migratory;
+            owned = std::make_unique<runtime::ProgramBuilder>(
+                c.cfg.numNodes);
+            builder = owned.get();
+            continue;
+        }
+        if (line.rfind("step ", 0) != 0 ||
+            line.find(" issue ") == std::string::npos) {
+            continue; // deliver steps and comments need no lowering
+        }
+        cosmos_assert(builder != nullptr,
+                      "counterexample has steps before its # config "
+                      "header");
+        const auto node = static_cast<NodeId>(
+            parseField(line, "node", invalid_node));
+        const unsigned block = parseField(line, "block", 0);
+        cosmos_assert(node < c.cfg.numNodes,
+                      "counterexample issue at bad node ", node);
+        const Addr addr = blockAddr(c.cfg, block);
+        if (parseWord(line, "op") == "write")
+            builder->proc(node).write(addr);
+        else
+            builder->proc(node).read(addr);
+        // The model's schedule orders issues across nodes; a global
+        // barrier after each op is the runtime equivalent.
+        builder->barrier();
+    }
+
+    cosmos_assert(builder != nullptr,
+                  "counterexample file has no # config header");
+    c.programs = builder->take();
+    return c;
 }
 
 } // namespace cosmos::check

@@ -142,6 +142,23 @@ std::vector<std::string>
 formatPrograms(const std::vector<runtime::Program> &programs);
 
 /**
+ * Lower a `cosmos-model-counterexample-v1` schedule (written by
+ * `cosmos model --counterexample-out`) to a directed fuzz case that
+ * runCase() can execute: the model's processor issues become per-node
+ * read/write ops, each followed by a global barrier so their
+ * cross-node order is exactly the model's schedule. Delivery steps
+ * need no translation -- with zero jitter the real network's FIFO
+ * channels deliver deterministically, and the faults the model
+ * checker hunts (e.g. the planted every-Nth-lost-invalidation bug)
+ * are functions of the issue order, not of message timing.
+ *
+ * The machine configuration (nodes, policy, forwarding, injected
+ * fault) is parsed from the file's `# config` header. Calls
+ * cosmos_fatal on a malformed file.
+ */
+FuzzCase loadCounterexample(const std::string &path);
+
+/**
  * Write the campaign as a `cosmos-fuzz-v1` JSON artifact for CI
  * (scripts/check_json.py validates it). @return false on I/O error.
  */

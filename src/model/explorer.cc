@@ -1,0 +1,449 @@
+#include "model/explorer.hh"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <optional>
+
+#include "common/arena.hh"
+#include "common/flat_map.hh"
+#include "common/log.hh"
+#include "model/stepper.hh"
+
+namespace cosmos::model
+{
+
+namespace
+{
+
+std::uint64_t
+fnv1a(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+constexpr std::uint32_t no_state = 0xFFFFFFFFu;
+
+/** One visited canonical state (the encoding lives in the arena). */
+struct StateRec
+{
+    const std::uint8_t *enc = nullptr;
+    std::uint32_t len = 0;
+    std::uint32_t nextSameHash = no_state;
+    std::uint32_t parent = no_state;
+    std::uint32_t depth = 0;
+    Action via{};
+};
+
+/**
+ * Exact-dedup visited set: hash -> chain of states sharing the hash,
+ * membership decided by byte comparison of the arena-stored
+ * encodings.
+ */
+class VisitedSet
+{
+  public:
+    /** @return (state id, true) on first insertion, (existing id,
+     *  false) on a revisit. */
+    std::pair<std::uint32_t, bool>
+    insert(const std::vector<std::uint8_t> &enc)
+    {
+        const std::uint64_t h = fnv1a(enc.data(), enc.size());
+        std::uint32_t *head = map_.find(h);
+        if (head) {
+            for (std::uint32_t id = *head; id != no_state;
+                 id = recs_[id].nextSameHash) {
+                const StateRec &r = recs_[id];
+                if (r.len == enc.size() &&
+                    std::equal(enc.begin(), enc.end(), r.enc)) {
+                    return {id, false};
+                }
+            }
+        }
+        auto *mem = static_cast<std::uint8_t *>(
+            arena_.allocate(enc.size(), 1));
+        std::copy(enc.begin(), enc.end(), mem);
+        StateRec r;
+        r.enc = mem;
+        r.len = static_cast<std::uint32_t>(enc.size());
+        const auto id = static_cast<std::uint32_t>(recs_.size());
+        if (head) {
+            // Chain onto the existing hash bucket; no map insertion,
+            // so `head` stays valid.
+            r.nextSameHash = *head;
+            *head = id;
+        } else {
+            map_.insert(h, id);
+        }
+        recs_.push_back(r);
+        return {id, true};
+    }
+
+    StateRec &rec(std::uint32_t id) { return recs_[id]; }
+    std::size_t size() const { return recs_.size(); }
+
+  private:
+    Arena arena_;
+    FlatMap<std::uint64_t, std::uint32_t> map_{&arena_};
+    std::vector<StateRec> recs_;
+};
+
+/** First safety violation of @p s, if any (fixed check order keeps
+ *  reports deterministic). Mirrors check::InvariantEngine's rules on
+ *  the model's explicit state. */
+std::optional<check::Violation>
+checkState(const GlobalState &s, const ModelConfig &mc)
+{
+    for (unsigned b = 0; b < mc.numBlocks; ++b) {
+        std::vector<NodeId> writers;
+        std::vector<NodeId> readers;
+        bool transient = false;
+        for (unsigned n = 0; n < mc.numNodes; ++n) {
+            switch (static_cast<proto::LineState>(s.line[n][b])) {
+              case proto::LineState::read_write:
+                writers.push_back(static_cast<NodeId>(n));
+                break;
+              case proto::LineState::read_only:
+                readers.push_back(static_cast<NodeId>(n));
+                break;
+              case proto::LineState::invalid:
+                break;
+              default:
+                transient = true;
+                break;
+            }
+        }
+
+        if (writers.size() > 1) {
+            check::Violation v;
+            v.kind = check::ViolationKind::multiple_writers;
+            v.block = mc.blockAddr(b);
+            v.nodes = writers;
+            v.detail = detail::concat(
+                "block ", b, " is cached read_write at ",
+                writers.size(), " nodes simultaneously");
+            return v;
+        }
+        if (writers.size() == 1 && !readers.empty()) {
+            check::Violation v;
+            v.kind = check::ViolationKind::writer_and_readers;
+            v.block = mc.blockAddr(b);
+            v.nodes = writers;
+            v.nodes.insert(v.nodes.end(), readers.begin(),
+                           readers.end());
+            v.detail = detail::concat(
+                "block ", b, " has a read_write copy at node ",
+                writers[0], " coexisting with ", readers.size(),
+                " read_only cop", readers.size() == 1 ? "y" : "ies");
+            return v;
+        }
+
+        // Directory agreement applies only at rest: entry not
+        // mid-transaction, no miss outstanding on the block, nothing
+        // for the block in flight.
+        const DirEntryState &e = s.dir[b];
+        if (e.busy || transient)
+            continue;
+        bool inFlight = false;
+        for (unsigned src = 0; src < mc.numNodes && !inFlight; ++src) {
+            for (unsigned dst = 0; dst < mc.numNodes; ++dst) {
+                const MsgQueue &q = s.channel(src, dst);
+                for (unsigned i = 0; i < q.count; ++i) {
+                    if (q.items[i].blockIdx == b) {
+                        inFlight = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (inFlight)
+            continue;
+
+        std::uint8_t roMask = 0;
+        for (NodeId n : readers)
+            roMask |= static_cast<std::uint8_t>(1u << n);
+
+        std::string mismatch;
+        switch (e.state) {
+          case proto::DirState::idle:
+            if (!writers.empty() || !readers.empty())
+                mismatch = "entry is idle but cached copies exist";
+            break;
+          case proto::DirState::shared:
+            if (!writers.empty())
+                mismatch = "entry is shared but a read_write copy "
+                           "exists";
+            else if (e.sharers != roMask)
+                mismatch = detail::concat(
+                    "sharer bits ", unsigned{e.sharers},
+                    " disagree with the read_only copies ",
+                    unsigned{roMask});
+            break;
+          case proto::DirState::exclusive:
+            if (writers.size() != 1 || e.owner != writers[0] ||
+                !readers.empty()) {
+                mismatch = detail::concat(
+                    "entry is exclusive at node ", unsigned{e.owner},
+                    " but the caches disagree");
+            }
+            break;
+        }
+        if (!mismatch.empty()) {
+            check::Violation v;
+            v.kind = check::ViolationKind::directory_mismatch;
+            v.block = mc.blockAddr(b);
+            v.nodes = writers;
+            v.nodes.insert(v.nodes.end(), readers.begin(),
+                           readers.end());
+            v.detail = detail::concat("block ", b, ": ", mismatch);
+            return v;
+        }
+    }
+
+    // Deadlock: an in-progress transaction with an empty network can
+    // never complete -- the ack or response it waits for does not
+    // exist.
+    bool networkEmpty = true;
+    for (unsigned src = 0; src < mc.numNodes && networkEmpty; ++src)
+        for (unsigned dst = 0; dst < mc.numNodes; ++dst)
+            if (s.channel(src, dst).count != 0) {
+                networkEmpty = false;
+                break;
+            }
+    if (networkEmpty) {
+        for (unsigned b = 0; b < mc.numBlocks; ++b) {
+            bool stuck = s.dir[b].busy;
+            std::vector<NodeId> waiting;
+            for (unsigned n = 0; n < mc.numNodes; ++n) {
+                const auto st =
+                    static_cast<proto::LineState>(s.line[n][b]);
+                if (st == proto::LineState::wait_ro ||
+                    st == proto::LineState::wait_rw ||
+                    st == proto::LineState::wait_upg) {
+                    stuck = true;
+                    waiting.push_back(static_cast<NodeId>(n));
+                }
+            }
+            if (stuck) {
+                check::Violation v;
+                v.kind = check::ViolationKind::liveness;
+                v.block = mc.blockAddr(b);
+                v.nodes = waiting;
+                v.detail = detail::concat(
+                    "deadlock: block ", b,
+                    " has a transaction in progress but the network "
+                    "is empty");
+                return v;
+            }
+        }
+    }
+
+    return std::nullopt;
+}
+
+/** Translate node ids of a canonical-space action through @p inv. */
+Action
+translateAction(const Action &a,
+                const std::array<std::uint8_t, max_nodes> &inv)
+{
+    Action c = a;
+    if (a.kind == Action::Kind::deliver) {
+        c.src = inv[a.src];
+        c.dst = inv[a.dst];
+        c.msg.src = inv[a.msg.src];
+        c.msg.dst = inv[a.msg.dst];
+        if (a.msg.requester != no_node)
+            c.msg.requester = inv[a.msg.requester];
+    } else {
+        c.node = inv[a.node];
+    }
+    return c;
+}
+
+/**
+ * Rebuild the concrete schedule reaching state @p id (plus the
+ * optional @p extra violating action) and re-execute it from the
+ * initial state so the reported counterexample is executable as-is.
+ */
+Counterexample
+buildCounterexample(const ModelConfig &mc, Stepper &stepper,
+                    VisitedSet &visited, std::uint32_t id,
+                    const Action *extra, check::Violation v)
+{
+    std::vector<Action> raw;
+    for (std::uint32_t cur = id;
+         visited.rec(cur).parent != no_state;
+         cur = visited.rec(cur).parent) {
+        raw.push_back(visited.rec(cur).via);
+    }
+    std::reverse(raw.begin(), raw.end());
+    if (extra)
+        raw.push_back(*extra);
+
+    Counterexample ce;
+    GlobalState s = Stepper::initialState();
+    std::vector<std::uint8_t> enc;
+    std::array<std::uint8_t, max_nodes> perm{};
+    std::array<std::uint8_t, max_nodes> inv{};
+    Stepper::Result r;
+    for (const Action &a : raw) {
+        canonicalEncoding(s, mc, enc, &perm);
+        for (unsigned n = 0; n < mc.numNodes; ++n)
+            inv[perm[n]] = static_cast<std::uint8_t>(n);
+        const Action c = translateAction(a, inv);
+        ce.schedule.push_back(c);
+        stepper.step(s, c, r);
+        if (r.failed)
+            break; // assertion counterexamples end at the failure
+        s = r.next;
+    }
+
+    const std::size_t first =
+        ce.schedule.size() > 8 ? ce.schedule.size() - 8 : 0;
+    for (std::size_t i = first; i < ce.schedule.size(); ++i)
+        v.history.push_back(detail::concat("step ", i, ": ",
+                                           ce.schedule[i].format()));
+    ce.violation = std::move(v);
+    return ce;
+}
+
+} // namespace
+
+ExploreResult
+explore(const ExploreOptions &opt)
+{
+    const ModelConfig &mc = opt.mc;
+    mc.validate();
+
+    ExploreResult res;
+    Stepper stepper(mc);
+    VisitedSet visited;
+    std::deque<std::uint32_t> frontier;
+
+    std::vector<std::uint8_t> enc;
+    canonicalEncoding(Stepper::initialState(), mc, enc);
+    frontier.push_back(visited.insert(enc).first);
+
+    std::vector<Action> actions;
+    GlobalState s;
+    Stepper::Result stepRes;
+
+    const auto record = [&](std::uint32_t parentId, const Action *extra,
+                            check::Violation v) {
+        if (res.counterexamples.size() >= opt.maxViolations)
+            return;
+        v.when = visited.rec(parentId).depth + (extra ? 1 : 0);
+        res.counterexamples.push_back(buildCounterexample(
+            mc, stepper, visited, parentId, extra, std::move(v)));
+    };
+
+    while (!frontier.empty()) {
+        const std::uint32_t id = frontier.front();
+        frontier.pop_front();
+        const StateRec cur = visited.rec(id); // by value: recs_ grows
+        decodeState(cur.enc, cur.len, mc, s);
+        res.maxDepth = std::max(res.maxDepth, unsigned{cur.depth});
+
+        enumerateActions(s, mc, actions);
+        for (const Action &a : actions) {
+            stepper.step(s, a, stepRes);
+            ++res.transitions;
+            for (const Sample &smp : stepRes.samples)
+                res.table.record(smp);
+
+            if (stepRes.failed) {
+                ++res.failedSteps;
+                check::Violation v;
+                v.kind = check::ViolationKind::assertion;
+                v.detail = stepRes.failureMsg;
+                record(id, &a, std::move(v));
+                continue;
+            }
+
+            canonicalEncoding(stepRes.next, mc, enc);
+            const auto [nid, fresh] = visited.insert(enc);
+            if (!fresh)
+                continue;
+            StateRec &nr = visited.rec(nid);
+            nr.parent = id;
+            nr.via = a;
+            nr.depth = cur.depth + 1;
+
+            if (auto v = checkState(stepRes.next, mc)) {
+                // Violating states are terminal: record, don't
+                // expand, so a clean space's size is a golden number
+                // and a buggy one stops at the bug's frontier.
+                if (v->kind == check::ViolationKind::liveness)
+                    ++res.deadlocks;
+                record(nid, nullptr, std::move(*v));
+                continue;
+            }
+            if (visited.size() > opt.maxStates) {
+                res.complete = false;
+                check::Violation v;
+                v.kind = check::ViolationKind::liveness;
+                v.detail = detail::concat(
+                    "exploration exceeded the ", opt.maxStates,
+                    "-state bound without closing; livelock or an "
+                    "unbounded transient");
+                record(nid, nullptr, std::move(v));
+                res.states = visited.size();
+                return res;
+            }
+            frontier.push_back(nid);
+        }
+    }
+
+    res.states = visited.size();
+    return res;
+}
+
+std::string
+formatCounterexample(const ModelConfig &mc, const Counterexample &ce)
+{
+    std::string out = "# cosmos-model-counterexample-v1\n";
+    out += detail::concat(
+        "# config nodes=", mc.numNodes, " blocks=", mc.numBlocks,
+        " reorder=", mc.reorder, " policy=", toString(mc.policy),
+        " forwarding=", mc.forwarding ? 1 : 0,
+        " inject_ignore_inval=", mc.ignoreInvalEvery, "\n");
+    out += detail::concat("# violation ",
+                          check::toString(ce.violation.kind), "\n");
+    out += detail::concat("# detail ", ce.violation.detail, "\n");
+    std::size_t i = 0;
+    for (const Action &a : ce.schedule) {
+        if (a.kind == Action::Kind::deliver) {
+            out += detail::concat(
+                "step ", i, " deliver src=", unsigned{a.src},
+                " dst=", unsigned{a.dst}, " type=",
+                proto::toString(a.msg.type), " block=",
+                unsigned{a.msg.blockIdx}, " depth=", unsigned{a.depth},
+                "\n");
+        } else {
+            out += detail::concat(
+                "step ", i, " issue node=", unsigned{a.node}, " op=",
+                a.kind == Action::Kind::issue_write ? "write" : "read",
+                " block=", unsigned{a.blockIdx}, "\n");
+        }
+        ++i;
+    }
+    return out;
+}
+
+bool
+writeCounterexample(const std::string &path, const ModelConfig &mc,
+                    const Counterexample &ce)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << formatCounterexample(mc, ce);
+    return static_cast<bool>(f);
+}
+
+} // namespace cosmos::model

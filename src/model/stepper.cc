@@ -1,0 +1,338 @@
+#include "model/stepper.hh"
+
+#include "common/log.hh"
+
+namespace cosmos::model
+{
+
+Stepper::Stepper(const ModelConfig &mc)
+    : mc_(mc), cfg_(mc.machineConfig()),
+      amap_(cfg_.blockBytes, cfg_.pageBytes, cfg_.numNodes)
+{
+    mc_.validate();
+    auto capture = [this](const proto::Msg &m) {
+        captured_.push_back(m);
+    };
+    caches_.reserve(cfg_.numNodes);
+    dirs_.reserve(cfg_.numNodes);
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        caches_.push_back(std::make_unique<proto::CacheController>(
+            n, amap_, cfg_, eq_, capture));
+        dirs_.push_back(std::make_unique<proto::DirectoryController>(
+            n, amap_, cfg_, eq_, capture));
+    }
+}
+
+unsigned
+Stepper::blockIdx(Addr block) const
+{
+    const unsigned b = static_cast<unsigned>(block / cfg_.pageBytes);
+    cosmos_assert(b < mc_.numBlocks && mc_.blockAddr(b) == block,
+                  "address 0x", std::hex, block,
+                  " is not a modeled block");
+    return b;
+}
+
+proto::Msg
+Stepper::toMsg(const CompactMsg &m) const
+{
+    proto::Msg r;
+    r.type = m.type;
+    r.src = m.src;
+    r.dst = m.dst;
+    r.block = mc_.blockAddr(m.blockIdx);
+    r.requester = m.requester == no_node ? invalid_node
+                                         : NodeId{m.requester};
+    r.forwarded = m.forwarded;
+    r.wantWritable = m.wantWritable;
+    return r;
+}
+
+CompactMsg
+Stepper::fromMsg(const proto::Msg &m) const
+{
+    CompactMsg r;
+    r.type = m.type;
+    r.src = static_cast<std::uint8_t>(m.src);
+    r.dst = static_cast<std::uint8_t>(m.dst);
+    r.requester = m.requester == invalid_node
+                      ? no_node
+                      : static_cast<std::uint8_t>(m.requester);
+    r.blockIdx = static_cast<std::uint8_t>(blockIdx(m.block));
+    r.forwarded = m.forwarded;
+    r.wantWritable = m.wantWritable;
+    return r;
+}
+
+void
+Stepper::load(const GlobalState &s)
+{
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        cacheScratch_.lines.clear();
+        for (unsigned b = 0; b < mc_.numBlocks; ++b) {
+            const auto st = static_cast<proto::LineState>(s.line[n][b]);
+            if (st != proto::LineState::invalid)
+                cacheScratch_.lines.emplace_back(mc_.blockAddr(b), st);
+        }
+        cacheScratch_.invalResidue = s.invalResidue[n];
+        caches_[n]->restore(cacheScratch_);
+
+        dirScratch_.entries.clear();
+        for (unsigned b = 0; b < mc_.numBlocks; ++b) {
+            if (mc_.home(b) != n)
+                continue;
+            const DirEntryState &e = s.dir[b];
+            if (e.state == proto::DirState::idle && !e.busy)
+                continue;
+            proto::DirEntrySnapshot es;
+            es.block = mc_.blockAddr(b);
+            es.state = e.state;
+            es.sharers = e.sharers;
+            es.owner = e.owner == no_node ? invalid_node
+                                          : NodeId{e.owner};
+            es.busy = e.busy;
+            es.pendingAcks = e.pendingAcks;
+            es.genuineUpgrade = e.genuineUpgrade;
+            es.recall = e.recall;
+            es.current = toMsg(e.current);
+            for (unsigned i = 0; i < e.waiting.count; ++i)
+                es.waiting.push_back(toMsg(e.waiting.items[i]));
+            dirScratch_.entries.push_back(std::move(es));
+        }
+        dirs_[n]->restore(dirScratch_);
+    }
+}
+
+void
+Stepper::readBack(GlobalState &out)
+{
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        for (unsigned b = 0; b < mc_.numBlocks; ++b)
+            out.line[n][b] =
+                static_cast<std::uint8_t>(proto::LineState::invalid);
+        caches_[n]->snapshot(cacheScratch_);
+        for (const auto &[block, st] : cacheScratch_.lines)
+            out.line[n][blockIdx(block)] =
+                static_cast<std::uint8_t>(st);
+        out.invalResidue[n] =
+            static_cast<std::uint8_t>(cacheScratch_.invalResidue);
+
+        dirs_[n]->snapshot(dirScratch_);
+        for (unsigned b = 0; b < mc_.numBlocks; ++b)
+            if (mc_.home(b) == n)
+                out.dir[b] = DirEntryState{};
+        for (const proto::DirEntrySnapshot &es : dirScratch_.entries) {
+            DirEntryState &e = out.dir[blockIdx(es.block)];
+            e.state = es.state;
+            e.sharers = static_cast<std::uint8_t>(es.sharers);
+            e.owner = es.owner == invalid_node
+                          ? no_node
+                          : static_cast<std::uint8_t>(es.owner);
+            e.busy = es.busy;
+            // Normalize fields that are only meaningful while the
+            // entry is mid-transaction: the live controller leaves
+            // the last transaction's request behind, and carrying it
+            // into the encoding would split identical protocol
+            // states.
+            if (es.busy) {
+                e.pendingAcks =
+                    static_cast<std::uint8_t>(es.pendingAcks);
+                e.genuineUpgrade = es.genuineUpgrade;
+                e.recall = es.recall;
+                if (!es.recall)
+                    e.current = fromMsg(es.current);
+            }
+            for (const proto::Msg &w : es.waiting)
+                e.waiting.push(fromMsg(w));
+        }
+    }
+}
+
+DirAbstract
+Stepper::dirAbstract(const proto::DirEntrySnapshot &e) const
+{
+    if (!e.busy)
+        return static_cast<DirAbstract>(e.state);
+    if (e.recall)
+        return DirAbstract::busy_recall;
+    return e.current.type == proto::MsgType::get_ro_request
+               ? DirAbstract::busy_read
+               : DirAbstract::busy_write;
+}
+
+proto::DirEntrySnapshot
+Stepper::dirEntry(NodeId n, Addr block)
+{
+    dirs_[n]->snapshot(dirScratch_);
+    for (const proto::DirEntrySnapshot &es : dirScratch_.entries)
+        if (es.block == block)
+            return es;
+    return proto::DirEntrySnapshot{};
+}
+
+void
+Stepper::drainInto(Sample &sample, std::vector<proto::Msg> &worklist,
+                   GlobalState &work, NodeId handled)
+{
+    while (eq_.pending())
+        eq_.runOne();
+    for (const proto::Msg &m : captured_) {
+        cosmos_assert(m.src == handled,
+                      "message emitted by a module other than the "
+                      "handled one: ",
+                      m.format());
+        sample.emissions.push_back(m.type);
+        if (m.src == m.dst)
+            worklist.push_back(m);
+        else
+            work.channel(m.src, m.dst).push(fromMsg(m));
+    }
+    captured_.clear();
+}
+
+namespace
+{
+
+void
+appendTag(std::string &ctx, const char *tag)
+{
+    if (!ctx.empty())
+        ctx += '+';
+    ctx += tag;
+}
+
+} // namespace
+
+void
+Stepper::runCascade(Result &out, std::vector<proto::Msg> &worklist,
+                    GlobalState &work)
+{
+    std::size_t at = 0;
+    while (at < worklist.size()) {
+        const proto::Msg m = worklist[at++];
+        Sample sample;
+        if (receiverRole(m.type) == proto::Role::cache) {
+            sample.module = Module::cache;
+            sample.input = static_cast<std::uint8_t>(m.type);
+            sample.pre = static_cast<std::uint8_t>(
+                caches_[m.dst]->state(m.block));
+            caches_[m.dst]->handleMessage(m);
+            drainInto(sample, worklist, work, m.dst);
+            sample.post = static_cast<std::uint8_t>(
+                caches_[m.dst]->state(m.block));
+        } else {
+            sample.module = Module::directory;
+            sample.input = static_cast<std::uint8_t>(m.type);
+            const proto::DirEntrySnapshot pre = dirEntry(m.dst, m.block);
+            sample.pre = static_cast<std::uint8_t>(dirAbstract(pre));
+
+            const std::uint64_t srcBit = std::uint64_t{1} << m.src;
+            switch (m.type) {
+              case proto::MsgType::get_ro_request:
+              case proto::MsgType::get_rw_request:
+              case proto::MsgType::upgrade_request:
+                if (pre.busy) {
+                    appendTag(sample.context, "queued");
+                    break;
+                }
+                if (m.type == proto::MsgType::upgrade_request) {
+                    appendTag(sample.context, (pre.sharers & srcBit)
+                                                  ? "sharer"
+                                                  : "nonsharer");
+                }
+                if (m.type != proto::MsgType::get_ro_request &&
+                    pre.state == proto::DirState::shared) {
+                    appendTag(sample.context,
+                              (pre.sharers & ~srcBit) ? "others"
+                                                      : "solo");
+                }
+                break;
+              case proto::MsgType::inval_ro_response:
+                appendTag(sample.context, pre.pendingAcks > 1
+                                              ? "more_acks"
+                                              : "last_ack");
+                // The final ack's reply type (get_rw_response vs
+                // upgrade_response) is chosen by the genuineUpgrade
+                // latch, part of the directory's hidden state.
+                if (pre.pendingAcks <= 1 && pre.genuineUpgrade)
+                    appendTag(sample.context, "upg");
+                if (pre.pendingAcks <= 1 && !pre.waiting.empty())
+                    appendTag(sample.context, "q");
+                break;
+              case proto::MsgType::inval_rw_response:
+              case proto::MsgType::downgrade_response:
+                if (!pre.waiting.empty())
+                    appendTag(sample.context, "q");
+                break;
+              default:
+                break;
+            }
+
+            dirs_[m.dst]->handleMessage(m);
+            drainInto(sample, worklist, work, m.dst);
+            sample.post = static_cast<std::uint8_t>(
+                dirAbstract(dirEntry(m.dst, m.block)));
+        }
+        out.samples.push_back(std::move(sample));
+    }
+    worklist.clear();
+}
+
+void
+Stepper::step(const GlobalState &s, const Action &a, Result &out)
+{
+    out.failed = false;
+    out.failureMsg.clear();
+    out.samples.clear();
+
+    load(s);
+    captured_.clear();
+
+    GlobalState work = s;
+    std::vector<proto::Msg> worklist;
+
+    FailureTrap trap;
+    try {
+        if (a.kind == Action::Kind::deliver) {
+            const CompactMsg taken =
+                work.channel(a.src, a.dst).takeAt(a.depth);
+            cosmos_assert(taken == a.msg,
+                          "deliver action does not match the channel "
+                          "contents");
+            worklist.push_back(toMsg(taken));
+        } else {
+            const bool write = a.kind == Action::Kind::issue_write;
+            Sample sample;
+            sample.module = Module::cache;
+            sample.input = write ? input_proc_write : input_proc_read;
+            const Addr addr = mc_.blockAddr(a.blockIdx);
+            sample.pre = static_cast<std::uint8_t>(
+                caches_[a.node]->state(addr));
+            caches_[a.node]->access(addr, write, []() {});
+            drainInto(sample, worklist, work, a.node);
+            sample.post = static_cast<std::uint8_t>(
+                caches_[a.node]->state(addr));
+            out.samples.push_back(std::move(sample));
+        }
+        runCascade(out, worklist, work);
+        readBack(work);
+        out.next = work;
+    } catch (const RecoverableError &e) {
+        out.failed = true;
+        out.failureMsg = detail::concat(e.what(), " (", e.file(), ":",
+                                        e.line(), ")");
+        // Discard leftover scheduled events so the next step starts
+        // from a clean queue; running them against half-mutated
+        // controllers may fail again, which is fine -- they are being
+        // thrown away.
+        while (eq_.pending()) {
+            try {
+                eq_.runOne();
+            } catch (const RecoverableError &) {
+            }
+        }
+        captured_.clear();
+    }
+}
+
+} // namespace cosmos::model

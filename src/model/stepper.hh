@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Atomic-step executor driving the *live* protocol controllers.
+ *
+ * The model checker never re-implements the protocol: every
+ * transition is computed by restoring a GlobalState into real
+ * CacheController / DirectoryController instances (via the snapshot
+ * API), applying one action, and reading the controllers back. The
+ * transition relation explored is therefore the implementation's, by
+ * construction -- the checker cannot drift from the code it checks.
+ *
+ * Step semantics (Murphi-style atomic handlers): one action delivers
+ * one message (or issues one processor access); the receiving
+ * handler runs to completion, including its scheduled continuations
+ * (the event queue is drained after every handler). Messages the
+ * handlers emit are captured instead of sent: remote ones are
+ * appended to the model's per-channel FIFOs, home-node-local ones
+ * (src == dst) are delivered synchronously within the same step --
+ * matching Stache's local optimization, under which local messages
+ * are invisible to the network. A step is thus a maximal cascade of
+ * local handler executions triggered by one scheduler choice.
+ *
+ * Handlers run under a FailureTrap: a cosmos_assert / cosmos_panic
+ * inside the protocol (e.g. an unexpected message under network
+ * reordering) becomes a failed Result, not a dead process, so the
+ * exploration can record the violation and continue.
+ */
+
+#ifndef COSMOS_MODEL_STEPPER_HH
+#define COSMOS_MODEL_STEPPER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/addr.hh"
+#include "model/state.hh"
+#include "model/table.hh"
+#include "sim/event_queue.hh"
+
+namespace cosmos::model
+{
+
+/** Executes single model transitions against the live controllers. */
+class Stepper
+{
+  public:
+    explicit Stepper(const ModelConfig &mc);
+
+    /** Outcome of one atomic step. */
+    struct Result
+    {
+        GlobalState next{};
+        /** A trapped assertion/panic fired inside a handler; next is
+         *  meaningless and the state is terminal. */
+        bool failed = false;
+        std::string failureMsg;
+        /** One sample per handler invocation in the cascade. */
+        std::vector<Sample> samples;
+    };
+
+    /** The all-invalid, all-idle, empty-network initial state. */
+    static GlobalState initialState() { return GlobalState{}; }
+
+    /** Apply @p a to @p s. */
+    void step(const GlobalState &s, const Action &a, Result &out);
+
+    const ModelConfig &modelConfig() const { return mc_; }
+    const MachineConfig &machineConfig() const { return cfg_; }
+
+  private:
+    void load(const GlobalState &s);
+    void readBack(GlobalState &out);
+    void runCascade(Result &out, std::vector<proto::Msg> &worklist,
+                    GlobalState &work);
+    void drainInto(Sample &sample, std::vector<proto::Msg> &worklist,
+                   GlobalState &work, NodeId handled);
+
+    proto::Msg toMsg(const CompactMsg &m) const;
+    CompactMsg fromMsg(const proto::Msg &m) const;
+    unsigned blockIdx(Addr block) const;
+
+    DirAbstract dirAbstract(const proto::DirEntrySnapshot &e) const;
+    /** Find (or default) the pre-handler entry snapshot of a block. */
+    proto::DirEntrySnapshot dirEntry(NodeId n, Addr block);
+
+    ModelConfig mc_;
+    MachineConfig cfg_;
+    AddrMap amap_;
+    sim::EventQueue eq_;
+    std::vector<std::unique_ptr<proto::CacheController>> caches_;
+    std::vector<std::unique_ptr<proto::DirectoryController>> dirs_;
+
+    /** Messages captured from the controllers' send hook. */
+    std::vector<proto::Msg> captured_;
+
+    /** Scratch snapshots (reused across steps to avoid allocation). */
+    proto::CacheSnapshot cacheScratch_;
+    proto::DirectorySnapshot dirScratch_;
+};
+
+} // namespace cosmos::model
+
+#endif // COSMOS_MODEL_STEPPER_HH

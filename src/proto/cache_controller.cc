@@ -1,5 +1,6 @@
 #include "proto/cache_controller.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.hh"
@@ -81,6 +82,40 @@ CacheController::forEachLine(
 {
     for (const auto &[block, st] : lines_)
         fn(block, st);
+}
+
+void
+CacheController::snapshot(CacheSnapshot &out) const
+{
+    out.lines.clear();
+    out.lines.reserve(lines_.size());
+    for (const auto &[block, st] : lines_)
+        out.lines.emplace_back(block, st);
+    std::sort(out.lines.begin(), out.lines.end());
+    out.invalResidue = cfg_.fault.ignoreInvalEvery == 0
+                           ? 0
+                           : ignoredInvalTick_ %
+                                 cfg_.fault.ignoreInvalEvery;
+}
+
+void
+CacheController::restore(const CacheSnapshot &s, DoneFn on_complete)
+{
+    lines_.clear();
+    pending_.clear();
+    validLines_ = 0;
+    ignoredInvalTick_ = s.invalResidue;
+    if (!on_complete)
+        on_complete = []() {};
+    for (const auto &[block, st] : s.lines) {
+        cosmos_assert(st != LineState::invalid,
+                      "snapshot carries an invalid line");
+        lines_[block] = st;
+        if (st == LineState::read_only || st == LineState::read_write)
+            ++validLines_;
+        else
+            pending_.emplace(block, on_complete);
+    }
 }
 
 void

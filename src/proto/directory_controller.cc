@@ -1,5 +1,6 @@
 #include "proto/directory_controller.hh"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -91,6 +92,54 @@ DirectoryController::forEachEntry(
 {
     for (const auto &[block, e] : entries_)
         fn(block, e.state, e.sharers, e.owner);
+}
+
+void
+DirectoryController::snapshot(DirectorySnapshot &out) const
+{
+    out.entries.clear();
+    out.entries.reserve(entries_.size());
+    for (const auto &[block, e] : entries_) {
+        // Idle quiescent entries are indistinguishable from absent
+        // ones (state() and busy() default them); dropping them keeps
+        // snapshots of equal states byte-equal.
+        if (e.state == DirState::idle && !e.busy)
+            continue;
+        DirEntrySnapshot s;
+        s.block = block;
+        s.state = e.state;
+        s.sharers = e.sharers;
+        s.owner = e.owner;
+        s.busy = e.busy;
+        s.pendingAcks = e.pendingAcks;
+        s.genuineUpgrade = e.genuineUpgrade;
+        s.recall = e.recall;
+        s.current = e.current;
+        s.waiting.assign(e.waiting.begin(), e.waiting.end());
+        out.entries.push_back(std::move(s));
+    }
+    std::sort(out.entries.begin(), out.entries.end(),
+              [](const DirEntrySnapshot &a, const DirEntrySnapshot &b) {
+                  return a.block < b.block;
+              });
+}
+
+void
+DirectoryController::restore(const DirectorySnapshot &s)
+{
+    entries_.clear();
+    for (const DirEntrySnapshot &es : s.entries) {
+        Entry &e = entry(es.block);
+        e.state = es.state;
+        e.sharers = es.sharers;
+        e.owner = es.owner;
+        e.busy = es.busy;
+        e.pendingAcks = es.pendingAcks;
+        e.genuineUpgrade = es.genuineUpgrade;
+        e.recall = es.recall;
+        e.current = es.current;
+        e.waiting.assign(es.waiting.begin(), es.waiting.end());
+    }
 }
 
 void

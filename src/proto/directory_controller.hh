@@ -66,6 +66,33 @@ class DirectorySpeculation
     virtual bool grantExclusiveOnRead(Addr block, NodeId requester) = 0;
 };
 
+/**
+ * Protocol-relevant state of one directory entry at a delivery
+ * boundary, including the in-transaction fields (busy flag, the
+ * request being served, outstanding acks, queued requests). Entries
+ * are sorted by block inside a DirectorySnapshot so equal states
+ * produce byte-equal snapshots.
+ */
+struct DirEntrySnapshot
+{
+    Addr block = 0;
+    DirState state = DirState::idle;
+    std::uint64_t sharers = 0;
+    NodeId owner = invalid_node;
+    bool busy = false;
+    unsigned pendingAcks = 0;
+    bool genuineUpgrade = false;
+    bool recall = false;
+    Msg current{};
+    std::vector<Msg> waiting;
+};
+
+/** Whole-directory snapshot (stats excluded; see CacheSnapshot). */
+struct DirectorySnapshot
+{
+    std::vector<DirEntrySnapshot> entries;
+};
+
 /** Counters a directory keeps for reporting and tests. */
 struct DirectoryStats
 {
@@ -137,6 +164,12 @@ class DirectoryController
     void forEachEntry(const std::function<void(
                           Addr, DirState, std::uint64_t, NodeId)> &fn)
         const;
+
+    /** Capture the protocol state into @p out (stats excluded). */
+    void snapshot(DirectorySnapshot &out) const;
+
+    /** Replace the protocol state with @p s (stats untouched). */
+    void restore(const DirectorySnapshot &s);
 
   private:
     struct Entry

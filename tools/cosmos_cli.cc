@@ -13,6 +13,27 @@
  *   census <app> [options]       sharing-pattern census
  *   fuzz [options]               schedule-fuzz the protocol under
  *                                the invariant checker (src/check)
+ *   model [options]              exhaustively enumerate every
+ *                                reachable protocol state of a small
+ *                                configuration (src/model), check
+ *                                safety invariants, and lint the
+ *                                observed transition table
+ *
+ * Model options:
+ *   --nodes N        nodes in the modeled machine (default 2)
+ *   --blocks N       modeled blocks (default 1)
+ *   --reorder K      allow a delivery to overtake up to K earlier
+ *                    messages on its channel (default 0 = the
+ *                    simulator's FIFO contract)
+ *   --max-states N   abort (as a liveness failure) past N states
+ *   --forwarding     enable SGI-Origin-style request forwarding
+ *   --inject-ignore-inval N
+ *                    plant the lost-invalidation bug (the checker
+ *                    must find an SWMR counterexample)
+ *   --out FILE       write the cosmos-model-v1 JSON artifact
+ *   --counterexample-out FILE
+ *                    write the first counterexample as a replayable
+ *                    schedule (cosmos fuzz --replay-model FILE)
  *
  * Fuzz options:
  *   --seeds N        number of fuzz cases (default 100)
@@ -27,6 +48,10 @@
  *                    inval_ro ack skips the invalidation (negative
  *                    testing -- the run must FAIL)
  *   --out FILE       write the cosmos-fuzz-v1 JSON artifact
+ *   --replay-model FILE
+ *                    execute a model-checker counterexample schedule
+ *                    through the real simulator (jitter 0); exits
+ *                    nonzero when the invariant engine confirms it
  *
  * Common options:
  *   --iterations N   override the workload's iteration count
@@ -65,6 +90,8 @@
 
 #include "check/fuzzer.hh"
 #include "common/table.hh"
+#include "model/explorer.hh"
+#include "model/report.hh"
 #include "cosmos/predictor_bank.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_event.hh"
@@ -104,6 +131,17 @@ struct CliArgs
     unsigned fuzzOps = 64;
     Tick fuzzJitter = 64;
     unsigned injectIgnoreInval = 0;
+    std::string replayModel;
+
+    // model-only options (--nodes / --blocks are shared with fuzz,
+    // whose defaults differ, so the model command only overrides its
+    // own defaults when the flag was given explicitly)
+    bool haveNodes = false;
+    bool haveBlocks = false;
+    unsigned modelReorder = 0;
+    std::size_t modelMaxStates = 1u << 20;
+    bool forwarding = false;
+    std::string counterexampleOut;
 };
 
 [[noreturn]] void
@@ -112,15 +150,20 @@ usage()
     std::fprintf(
         stderr,
         "usage: cosmos "
-        "<list|run|analyze|sweep|accel|figures|census|fuzz> [target] "
-        "[--iterations N] [--seed S]\n"
+        "<list|run|analyze|sweep|accel|figures|census|fuzz|model> "
+        "[target] [--iterations N] [--seed S]\n"
         "              [--policy half-migratory|downgrade] "
         "[--depth D] [--filter F] [--threads N] [--out FILE]\n"
         "              [--metrics-out FILE] [--trace-out FILE]\n"
         "       cosmos fuzz [--seeds N] [--seed S] [--replay S] "
         "[--nodes N] [--blocks N] [--ops N]\n"
         "              [--jitter T] [--inject-ignore-inval N] "
-        "[--out FILE]\n");
+        "[--replay-model FILE] [--out FILE]\n"
+        "       cosmos model [--nodes N] [--blocks N] [--reorder K] "
+        "[--max-states N] [--forwarding]\n"
+        "              [--policy half-migratory|downgrade] "
+        "[--inject-ignore-inval N] [--out FILE]\n"
+        "              [--counterexample-out FILE]\n");
     std::exit(2);
 }
 
@@ -172,9 +215,11 @@ parse(int argc, char **argv)
             args.replaySeed = std::strtoull(value(), nullptr, 0);
         } else if (flag == "--nodes") {
             args.fuzzNodes = static_cast<unsigned>(std::atoi(value()));
+            args.haveNodes = true;
         } else if (flag == "--blocks") {
             args.fuzzBlocks =
                 static_cast<unsigned>(std::atoi(value()));
+            args.haveBlocks = true;
         } else if (flag == "--ops") {
             args.fuzzOps = static_cast<unsigned>(std::atoi(value()));
         } else if (flag == "--jitter") {
@@ -182,6 +227,19 @@ parse(int argc, char **argv)
         } else if (flag == "--inject-ignore-inval") {
             args.injectIgnoreInval =
                 static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--replay-model") {
+            args.replayModel = value();
+        } else if (flag == "--reorder") {
+            args.modelReorder =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (flag == "--max-states") {
+            args.modelMaxStates =
+                static_cast<std::size_t>(std::strtoull(value(),
+                                                       nullptr, 0));
+        } else if (flag == "--forwarding") {
+            args.forwarding = true;
+        } else if (flag == "--counterexample-out") {
+            args.counterexampleOut = value();
         } else {
             usage();
         }
@@ -456,9 +514,79 @@ printReplayHint(const check::FuzzOptions &opts, std::uint64_t seed)
     std::printf("\n");
 }
 
+/** Execute a model-checker counterexample through the real
+ *  simulator: zero jitter, so the network replays the schedule's
+ *  issue order deterministically. Exits nonzero when the invariant
+ *  engine confirms the violation -- CI's replay leg asserts that. */
+int
+replayModelCounterexample(const CliArgs &args)
+{
+    const check::FuzzCase c =
+        check::loadCounterexample(args.replayModel);
+    check::FuzzOptions opts;
+    opts.maxJitter = 0;
+    const check::CaseResult r = check::runCase(c, opts);
+    std::printf("model counterexample %s: %s (%llu messages "
+                "delivered)\n",
+                args.replayModel.c_str(),
+                r.failed ? "CONFIRMED" : "did not reproduce",
+                static_cast<unsigned long long>(r.delivered));
+    for (const auto &v : r.violations)
+        std::printf("%s\n", v.format().c_str());
+    return r.failed ? 1 : 0;
+}
+
+int
+cmdModel(const CliArgs &args)
+{
+    model::ExploreOptions opt;
+    opt.mc.numNodes = static_cast<NodeId>(args.haveNodes
+                                              ? args.fuzzNodes
+                                              : 2u);
+    opt.mc.numBlocks = args.haveBlocks ? args.fuzzBlocks : 1u;
+    opt.mc.reorder = args.modelReorder;
+    opt.mc.policy = args.policy;
+    opt.mc.forwarding = args.forwarding;
+    opt.mc.ignoreInvalEvery = args.injectIgnoreInval;
+    opt.maxStates = args.modelMaxStates;
+    opt.mc.validate();
+
+    const model::ExploreResult res = model::explore(opt);
+    std::fputs(model::renderReport(opt.mc, res).c_str(), stdout);
+
+    if (!args.out.empty()) {
+        if (model::writeReportJson(args.out, opt.mc, res)) {
+            std::printf("model report written to %s\n",
+                        args.out.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.out.c_str());
+            return 1;
+        }
+    }
+    if (!args.counterexampleOut.empty() &&
+        !res.counterexamples.empty()) {
+        if (model::writeCounterexample(args.counterexampleOut, opt.mc,
+                                       res.counterexamples.front())) {
+            std::printf("counterexample written to %s (replay with: "
+                        "cosmos fuzz --replay-model %s)\n",
+                        args.counterexampleOut.c_str(),
+                        args.counterexampleOut.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.counterexampleOut.c_str());
+            return 1;
+        }
+    }
+    return res.clean() ? 0 : 1;
+}
+
 int
 cmdFuzz(const CliArgs &args)
 {
+    if (!args.replayModel.empty())
+        return replayModelCounterexample(args);
+
     const check::FuzzOptions opts = makeFuzzOptions(args);
 
     check::FuzzReport report;
@@ -518,6 +646,8 @@ dispatch(const CliArgs &args)
         return cmdCensus(args);
     if (args.command == "fuzz")
         return cmdFuzz(args);
+    if (args.command == "model")
+        return cmdModel(args);
     usage();
 }
 
