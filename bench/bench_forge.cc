@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tracked per-sharing-class accuracy decomposition on forge traffic.
+ *
+ * §6.1 of the paper *conjectures* how each sharing pattern
+ * contributes to an application's predictor accuracy. The forge
+ * (src/forge) assigns every block a ground-truth class, so this
+ * bench measures that contribution exactly: one Table-5-style row
+ * per class, on a canonical static-role mix and on a phase-
+ * oscillating variant where writer roles rotate every 8 rounds and
+ * predictors must re-learn mid-stream.
+ *
+ * Both cells are golden-gated: every per-class accuracy counter is
+ * deterministic given (params, seed), and any drift -- a predictor
+ * change, a generator change, a protocol change that reshapes the
+ * message stream -- fails the binary so CI can gate on it. Results
+ * are written as JSON (default BENCH_forge.json) for tracking.
+ *
+ * --dump-goldens prints fixture rows to paste below when the model
+ * changes intentionally.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "forge/score.hh"
+#include "harness/traffic.hh"
+
+namespace
+{
+
+using namespace cosmos;
+
+struct GoldenClassRow
+{
+    const char *cell;
+    forge::BlockClass cls;
+    std::uint64_t cacheHits, cacheTotal, dirHits, dirTotal;
+    std::uint64_t censusAgree, censusSeen;
+};
+
+// Pinned counters for both cells (procs=8 blocks=64 migratory=0.3
+// false=0.1 private=0.2 readonly=0.2 fanout=3, 32 x 2048-access
+// chunks, depth 2 filter 0). Regenerate with --dump-goldens.
+constexpr GoldenClassRow golden_rows[] = {
+    {"static", forge::BlockClass::private_block, 0u, 0u, 0u, 0u, 10u, 10u},
+    {"static", forge::BlockClass::read_only, 0u, 0u, 0u, 65u, 13u, 13u},
+    {"static", forge::BlockClass::migratory, 12877u, 14069u, 9539u, 14297u, 19u, 19u},
+    {"static", forge::BlockClass::producer_consumer, 20067u, 20163u, 11341u, 20233u, 13u, 13u},
+    {"static", forge::BlockClass::false_sharing, 4630u, 4654u, 4636u, 4666u, 6u, 6u},
+    {"phase8", forge::BlockClass::private_block, 0u, 0u, 0u, 0u, 10u, 10u},
+    {"phase8", forge::BlockClass::read_only, 0u, 0u, 0u, 65u, 13u, 13u},
+    {"phase8", forge::BlockClass::migratory, 12807u, 14110u, 7695u, 14338u, 19u, 19u},
+    {"phase8", forge::BlockClass::producer_consumer, 16495u, 18590u, 7053u, 18746u, 0u, 13u},
+    {"phase8", forge::BlockClass::false_sharing, 3943u, 4027u, 2963u, 4099u, 6u, 6u},
+};
+
+forge::ForgeParams
+canonicalParams(unsigned phase)
+{
+    forge::ForgeParams p;
+    p.numProcs = 8;
+    p.blocks = 64;
+    p.migratory = 0.3;
+    p.falseSharing = 0.1;
+    p.privateFrac = 0.2;
+    p.readOnly = 0.2;
+    p.fanout = 3;
+    p.phase = phase;
+    return p;
+}
+
+struct Cell
+{
+    const char *name;
+    forge::ForgeParams params;
+    forge::ForgeScore score;
+    std::size_t messages = 0;
+};
+
+Cell
+runCell(const char *name, const forge::ForgeParams &params)
+{
+    Cell cell{name, params, {}, 0};
+    forge::SynthSource src(params);
+    harness::TrafficConfig cfg;
+    cfg.machine.numNodes = params.numProcs;
+    cfg.machine.blockBytes = params.blockBytes;
+    cfg.machine.pageBytes = params.pageBytes;
+    cfg.opsPerIteration = 2048;
+    cfg.maxIterations = 32;
+    const auto result = harness::runTraffic(cfg, src);
+    cell.score = forge::scoreByClass(result.trace, src,
+                                     pred::CosmosConfig{2, 0});
+    cell.messages = result.trace.records.size();
+    return cell;
+}
+
+bool
+checkRow(const GoldenClassRow &g, const forge::ClassScore &c)
+{
+    if (c.accuracy.cacheSide().hits == g.cacheHits &&
+        c.accuracy.cacheSide().total == g.cacheTotal &&
+        c.accuracy.directorySide().hits == g.dirHits &&
+        c.accuracy.directorySide().total == g.dirTotal &&
+        c.censusAgree == g.censusAgree && c.censusSeen == g.censusSeen) {
+        return true;
+    }
+    std::fprintf(stderr,
+                 "GOLDEN DRIFT %s/%s: got C %llu/%llu D %llu/%llu "
+                 "census %llu/%llu, want C %llu/%llu D %llu/%llu "
+                 "census %llu/%llu\n",
+                 g.cell, forge::toString(g.cls),
+                 (unsigned long long)c.accuracy.cacheSide().hits,
+                 (unsigned long long)c.accuracy.cacheSide().total,
+                 (unsigned long long)c.accuracy.directorySide().hits,
+                 (unsigned long long)c.accuracy.directorySide().total,
+                 (unsigned long long)c.censusAgree,
+                 (unsigned long long)c.censusSeen,
+                 (unsigned long long)g.cacheHits,
+                 (unsigned long long)g.cacheTotal,
+                 (unsigned long long)g.dirHits,
+                 (unsigned long long)g.dirTotal,
+                 (unsigned long long)g.censusAgree,
+                 (unsigned long long)g.censusSeen);
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_forge.json";
+    bool dump_goldens = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--dump-goldens") {
+            dump_goldens = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out PATH] [--dump-goldens]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<Cell> cells;
+    cells.push_back(runCell("static", canonicalParams(0)));
+    cells.push_back(runCell("phase8", canonicalParams(8)));
+
+    if (dump_goldens) {
+        for (const Cell &cell : cells) {
+            for (const auto &c : cell.score.classes) {
+                std::printf(
+                    "    {\"%s\", forge::BlockClass::%s, %lluu, "
+                    "%lluu, %lluu, %lluu, %lluu, %lluu},\n",
+                    cell.name,
+                    c.cls == forge::BlockClass::private_block
+                        ? "private_block"
+                    : c.cls == forge::BlockClass::read_only
+                        ? "read_only"
+                    : c.cls == forge::BlockClass::migratory
+                        ? "migratory"
+                    : c.cls == forge::BlockClass::producer_consumer
+                        ? "producer_consumer"
+                        : "false_sharing",
+                    (unsigned long long)c.accuracy.cacheSide().hits,
+                    (unsigned long long)c.accuracy.cacheSide().total,
+                    (unsigned long long)
+                        c.accuracy.directorySide().hits,
+                    (unsigned long long)
+                        c.accuracy.directorySide().total,
+                    (unsigned long long)c.censusAgree,
+                    (unsigned long long)c.censusSeen);
+            }
+        }
+        return 0;
+    }
+
+    bench::banner("Per-class accuracy on ground-truth forge traffic "
+                  "(golden-gated)");
+
+    bool ok = true;
+    std::size_t row = 0;
+    for (const Cell &cell : cells) {
+        std::printf("\ncell %s: %s\n", cell.name,
+                    cell.params.summary().c_str());
+        std::fputs(cell.score.formatTable().c_str(), stdout);
+        for (const auto &c : cell.score.classes)
+            ok &= checkRow(golden_rows[row++], c);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "FAILED: per-class accuracy drifted "
+                             "from the pinned goldens\n");
+        return 1;
+    }
+    std::printf("\ngoldens: all %zu class rows bit-identical\n", row);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "FAILED: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"forge\",\n");
+    std::fprintf(f, "  \"goldens\": \"pass\",\n  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        std::fprintf(f,
+                     "    {\"cell\": \"%s\", \"phase\": %u, "
+                     "\"messages\": %zu, \"overall_pct\": %.2f,\n"
+                     "     \"classes\": [\n",
+                     cell.name, cell.params.phase, cell.messages,
+                     cell.score.total.overall().percent());
+        for (std::size_t j = 0; j < cell.score.classes.size(); ++j) {
+            const auto &c = cell.score.classes[j];
+            std::fprintf(
+                f,
+                "      {\"class\": \"%s\", \"blocks\": %llu, "
+                "\"records\": %llu, \"cache_pct\": %.2f, "
+                "\"directory_pct\": %.2f, \"overall_pct\": %.2f, "
+                "\"census_agree\": %llu, \"census_seen\": %llu}%s\n",
+                forge::toString(c.cls),
+                (unsigned long long)c.blocks,
+                (unsigned long long)c.records,
+                c.accuracy.cacheSide().percent(),
+                c.accuracy.directorySide().percent(),
+                c.accuracy.overall().percent(),
+                (unsigned long long)c.censusAgree,
+                (unsigned long long)c.censusSeen,
+                j + 1 < cell.score.classes.size() ? "," : "");
+        }
+        std::fprintf(f, "     ]}%s\n",
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -23,6 +23,12 @@ Schemas:
                   a transition table whose entries carry sorted
                   module/state/input keys with at least one outcome
                   each, and lint findings with known kinds
+    forge         a cosmos-forge-v1 document from `cosmos run --forge
+                  ... --forge-out`: the forge parameters, replay
+                  config, and one accuracy row per ground-truth
+                  sharing class whose record counts sum to the
+                  message total and whose census agreement never
+                  exceeds the blocks seen
 
 Exits non-zero with a per-file message on the first failure, so it
 slots directly into scripts/ci.sh.
@@ -219,11 +225,73 @@ def check_model(doc):
     return None
 
 
+FORGE_PARAM_KEYS = {"procs", "blocks", "migratory", "false",
+                    "private", "readonly", "producer_consumer",
+                    "fanout", "phase", "seed"}
+
+FORGE_CLASS_KEYS = {"class", "blocks", "records", "cache_pct",
+                    "directory_pct", "overall_pct", "census_seen",
+                    "census_agree"}
+
+FORGE_CLASSES = {"private", "read-only", "migratory",
+                 "producer-consumer", "false-sharing"}
+
+
+def check_forge(doc):
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if doc.get("format") != "cosmos-forge-v1":
+        return f"unexpected format field: {doc.get('format')!r}"
+    params = doc.get("params")
+    if not isinstance(params, dict):
+        return "missing \"params\" object"
+    missing = FORGE_PARAM_KEYS - params.keys()
+    if missing:
+        return f"params missing keys: {sorted(missing)}"
+    fractions = sum(params[k] for k in
+                    ("migratory", "false", "private", "readonly",
+                     "producer_consumer"))
+    if not 0.99 <= fractions <= 1.01:
+        return f"class fractions sum to {fractions}, not 1"
+    for key in ("depth", "filter", "nodes", "iterations", "messages"):
+        if not isinstance(doc.get(key), int):
+            return f"missing or non-integer {key!r}"
+    if not isinstance(doc.get("overall_pct"), (int, float)):
+        return "missing numeric \"overall_pct\""
+    classes = doc.get("classes")
+    if not isinstance(classes, list) or not classes:
+        return "missing or empty \"classes\" array"
+    records = 0
+    for i, c in enumerate(classes):
+        if not isinstance(c, dict):
+            return f"class row {i} is not an object"
+        missing = FORGE_CLASS_KEYS - c.keys()
+        if missing:
+            return f"class row {i} missing keys: {sorted(missing)}"
+        if c["class"] not in FORGE_CLASSES:
+            return f"class row {i} has unknown class {c['class']!r}"
+        for key in ("cache_pct", "directory_pct", "overall_pct"):
+            if not 0 <= c[key] <= 100:
+                return (f"class row {i} {key!r} {c[key]} outside "
+                        f"[0, 100]")
+        if c["census_agree"] > c["census_seen"]:
+            return (f"class row {i}: census agreement exceeds "
+                    f"blocks seen")
+        if c["census_seen"] > c["blocks"]:
+            return (f"class row {i}: census saw more blocks than "
+                    f"exist in the class")
+        records += c["records"]
+    if records != doc["messages"]:
+        return (f"per-class records sum to {records}, not the "
+                f"message total {doc['messages']}")
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--schema", default="any",
                     choices=["any", "metrics", "chrome-trace",
-                             "fuzz", "model"])
+                             "fuzz", "model", "forge"])
     ap.add_argument("files", nargs="+", metavar="FILE")
     args = ap.parse_args()
 
@@ -243,6 +311,8 @@ def main():
             error = check_fuzz(doc)
         elif args.schema == "model":
             error = check_model(doc)
+        elif args.schema == "forge":
+            error = check_forge(doc)
         if error:
             print(f"check_json: {path}: {error}", file=sys.stderr)
             return 1

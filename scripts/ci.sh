@@ -31,6 +31,8 @@ for b in build/bench/bench_*; do
             # Smoke only; the tracked run happens in Release below.
             "$b" --min-seconds 0.05 \
                  --out build/BENCH_predictor_throughput.json > /dev/null ;;
+        bench_forge)
+            "$b" --out build/BENCH_forge.json > /dev/null ;;
         *)
             "$b" > /dev/null ;;
     esac
@@ -117,6 +119,43 @@ if ./build/tools/cosmos fuzz \
 fi
 echo "== model-check smoke OK (48/488-state closures, planted bug" \
      "caught and replayed)"
+
+# Forge / trace-ingestion smoke: a generated text trace must replay
+# through the simulator byte-for-byte (gen -> run round-trip, plus a
+# gzip leg when zlib was available at build time), a synthetic run
+# must publish a valid cosmos-forge-v1 accuracy report, the fuzzer's
+# structured-workload dimension must come back clean, and the
+# negative leg: a malformed trace line MUST fail the run with its
+# line number -- proving the parser actually rejects garbage instead
+# of replaying it.
+./build/tools/cosmos gen \
+    --forge migratory=0.3,false=0.1,private=0.2,readonly=0.2,blocks=32,procs=8 \
+    --accesses 20000 --out artifacts/forge_smoke.trace > /dev/null
+./build/tools/cosmos run --trace-file artifacts/forge_smoke.trace \
+    --nodes 8 > artifacts/forge_ingest.txt
+grep -q 'ingested: 20000 accesses' artifacts/forge_ingest.txt
+if grep -q 'gzip-capable' artifacts/forge_ingest.txt; then
+    gzip -c artifacts/forge_smoke.trace > artifacts/forge_smoke.trace.gz
+    ./build/tools/cosmos run \
+        --trace-file artifacts/forge_smoke.trace.gz --nodes 8 \
+        | grep -q 'ingested: 20000 accesses'
+fi
+printf '0 r 0x1000\n7 w not-an-address\n' > artifacts/forge_bad.trace
+if ./build/tools/cosmos run --trace-file artifacts/forge_bad.trace \
+    --nodes 8 > /dev/null 2> artifacts/forge_bad.txt; then
+    echo "forge smoke: malformed trace line was NOT rejected" >&2
+    exit 1
+fi
+grep -q 'forge_bad.trace:2:' artifacts/forge_bad.txt
+./build/tools/cosmos run \
+    --forge migratory=0.3,false=0.1,private=0.2,readonly=0.2,blocks=64,procs=8 \
+    --iterations 16 --forge-out artifacts/forge_report.json > /dev/null
+python3 scripts/check_json.py --schema forge artifacts/forge_report.json
+./build/tools/cosmos fuzz --seeds 50 --seed 1 --forge-mix 0.5 \
+    --out artifacts/fuzz_forge.json > /dev/null
+python3 scripts/check_json.py --schema fuzz artifacts/fuzz_forge.json
+echo "== forge smoke OK (round-trip, malformed line rejected," \
+     "report valid, structured fuzz clean)"
 
 # Release-mode perf smoke (-O2 -DNDEBUG): the golden-gated throughput
 # bench replays the full Table 5/6 grid, fails the build on any

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/rng.hh"
+#include "forge/synth.hh"
 #include "proto/machine.hh"
 #include "runtime/processor.hh"
 
@@ -95,6 +96,48 @@ appendViolation(std::ostream &os, const Violation &v,
     os << "]}";
 }
 
+/**
+ * Draw per-seed forge parameters and lower the synthetic stream to
+ * per-node programs. The forge uses the fuzzer's block layout (one
+ * block per page), so violations print the same addresses either way.
+ */
+void
+makeForgePrograms(FuzzCase &c, Rng &rng, const FuzzOptions &opts)
+{
+    forge::ForgeParams fp;
+    fp.numProcs = opts.numNodes;
+    fp.blocks = std::max(1u, opts.numBlocks);
+    fp.blockBytes = c.cfg.blockBytes;
+    fp.pageBytes = c.cfg.pageBytes;
+    fp.seed = c.seed;
+    // Random class mix per seed; the four explicit fractions sum to
+    // at most 0.9, leaving producer-consumer the remainder.
+    fp.migratory = 0.1 * static_cast<double>(rng.nextBelow(4));
+    fp.falseSharing = 0.1 * static_cast<double>(rng.nextBelow(3));
+    fp.privateFrac = 0.1 * static_cast<double>(rng.nextBelow(3));
+    fp.readOnly = 0.1 * static_cast<double>(rng.nextBelow(3));
+    fp.fanout = 1 + static_cast<unsigned>(rng.nextBelow(
+                        std::max<NodeId>(opts.numNodes, 2) - 1));
+    fp.phase = rng.nextBool(0.5)
+                   ? 1 + static_cast<unsigned>(rng.nextBelow(4))
+                   : 0;
+
+    forge::SynthSource src(fp);
+    const std::size_t want =
+        static_cast<std::size_t>(opts.opsPerNode) * opts.numNodes;
+    std::vector<forge::Access> batch;
+    std::size_t pulled = 0;
+    while (pulled < want && src.next(batch, want - pulled) > 0) {
+        for (const forge::Access &a : batch) {
+            c.programs[a.proc].push_back(
+                {a.write ? runtime::Op::Kind::write
+                         : runtime::Op::Kind::read,
+                 a.addr, 0, 0});
+        }
+        pulled += batch.size();
+    }
+}
+
 } // namespace
 
 std::size_t
@@ -130,6 +173,10 @@ makeCase(std::uint64_t seed, const FuzzOptions &opts)
     c.cfg.fault.ignoreInvalEvery = opts.ignoreInvalEvery;
 
     c.programs.resize(opts.numNodes);
+    if (opts.forgeMix > 0.0 && rng.nextBool(opts.forgeMix)) {
+        makeForgePrograms(c, rng, opts);
+        return c;
+    }
     for (NodeId p = 0; p < opts.numNodes; ++p) {
         runtime::Program &prog = c.programs[p];
         prog.reserve(opts.opsPerNode);
@@ -342,7 +389,7 @@ writeReport(const FuzzReport &report, const FuzzOptions &opts,
        << ", \"ops_per_node\": " << opts.opsPerNode
        << ", \"max_jitter\": " << opts.maxJitter
        << ", \"ignore_inval_every\": " << opts.ignoreInvalEvery
-       << "},\n";
+       << ", \"forge_mix\": " << opts.forgeMix << "},\n";
     os << "  \"failures\": [";
     for (std::size_t i = 0; i < report.failures.size(); ++i) {
         const Failure &f = report.failures[i];

@@ -59,6 +59,17 @@ struct FuzzOptions
      *  catch (negative testing / CI's planted-bug stage). */
     unsigned ignoreInvalEvery = 0;
 
+    /**
+     * Probability that a case's workload is drawn from the synthetic
+     * forge (src/forge) instead of pure-random ops: structured
+     * migratory / producer-consumer / false-sharing traffic with
+     * per-seed random class fractions. Structured sharing drives the
+     * protocol through its steady-state flows (ownership hand-offs,
+     * fan-out invalidation bursts) that uniform random ops rarely
+     * sustain. 0 = classic random workloads only.
+     */
+    double forgeMix = 0.0;
+
     /** Shrink failing cases to a minimal reproducer. */
     bool shrink = true;
 

@@ -1,0 +1,445 @@
+#include "forge/text_trace.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#if COSMOS_HAS_ZLIB
+#include <zlib.h>
+#endif
+
+#include "common/log.hh"
+
+namespace cosmos::forge
+{
+
+namespace
+{
+
+/** Bytes pulled from the input per refill; bounds resident memory. */
+constexpr std::size_t chunk_bytes = 256 * 1024;
+
+bool
+isSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r';
+}
+
+/**
+ * Default processor encoded in a benchmark-suite filename: the
+ * digits after the last '_' of the stem (`bodytrack_3.data` -> 3,
+ * `canneal_12.data.gz` -> 12). -1 when the name carries none.
+ */
+int
+filenameProc(const std::string &path)
+{
+    std::string stem = std::filesystem::path(path).filename().string();
+    // Strip extensions (.gz first, then one more).
+    for (int pass = 0; pass < 2; ++pass) {
+        const auto dot = stem.rfind('.');
+        if (dot == std::string::npos || dot == 0)
+            break;
+        stem.erase(dot);
+    }
+    const auto us = stem.rfind('_');
+    if (us == std::string::npos || us + 1 >= stem.size())
+        return -1;
+    int proc = 0;
+    for (std::size_t i = us + 1; i < stem.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(stem[i])))
+            return -1;
+        proc = proc * 10 + (stem[i] - '0');
+        if (proc > 0xffff)
+            return -1;
+    }
+    return proc;
+}
+
+} // namespace
+
+bool
+gzipSupported()
+{
+#if COSMOS_HAS_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+/** One open input file: gzip-transparent when zlib is available. */
+struct TextTraceReader::Input
+{
+    std::string path;
+    int defaultProc = -1;
+    std::uint64_t line = 0;
+    std::string carry; ///< partial trailing line of the last chunk
+    std::vector<char> buf = std::vector<char>(chunk_bytes);
+    bool eof = false;
+#if COSMOS_HAS_ZLIB
+    gzFile gz = nullptr;
+#else
+    std::FILE *fp = nullptr;
+#endif
+
+    bool
+    open(const std::string &p)
+    {
+        path = p;
+        defaultProc = filenameProc(p);
+#if COSMOS_HAS_ZLIB
+        // gzopen reads uncompressed files unchanged, so every file
+        // takes the same path and `.gz` is pure passthrough.
+        gz = gzopen(p.c_str(), "rb");
+        return gz != nullptr;
+#else
+        if (p.size() > 3 && p.compare(p.size() - 3, 3, ".gz") == 0)
+            return false; // gated: no zlib in this build
+        fp = std::fopen(p.c_str(), "rb");
+        return fp != nullptr;
+#endif
+    }
+
+    /** @return bytes read into @p buf; 0 = EOF; -1 = I/O error. */
+    long
+    read(char *buf, std::size_t n)
+    {
+#if COSMOS_HAS_ZLIB
+        const int got = gzread(gz, buf, static_cast<unsigned>(n));
+        if (got == 0)
+            eof = true;
+        return got;
+#else
+        const std::size_t got = std::fread(buf, 1, n, fp);
+        if (got == 0) {
+            if (std::ferror(fp))
+                return -1;
+            eof = true;
+        }
+        return static_cast<long>(got);
+#endif
+    }
+
+    ~Input()
+    {
+#if COSMOS_HAS_ZLIB
+        if (gz != nullptr)
+            gzclose(gz);
+#else
+        if (fp != nullptr)
+            std::fclose(fp);
+#endif
+    }
+};
+
+TextTraceReader::TextTraceReader(const std::string &path,
+                                 NodeId max_procs)
+    : name_(std::filesystem::path(path).filename().string()),
+      maxProcs_(max_procs)
+{
+    if (name_.empty())
+        name_ = path;
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+        for (const auto &entry :
+             std::filesystem::directory_iterator(path, ec)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string fname =
+                entry.path().filename().string();
+            if (!fname.empty() && fname[0] == '.')
+                continue;
+            files_.push_back(entry.path().string());
+        }
+        std::sort(files_.begin(), files_.end());
+        if (files_.empty())
+            fail(path + ": benchmark directory contains no trace "
+                        "files");
+    } else {
+        files_.push_back(path);
+    }
+}
+
+TextTraceReader::~TextTraceReader() = default;
+
+void
+TextTraceReader::fail(const std::string &reason)
+{
+    failed_ = true;
+    error_ = reason;
+    in_.reset();
+}
+
+bool
+TextTraceReader::openNextFile()
+{
+    if (nextFile_ >= files_.size())
+        return false;
+    auto in = std::make_unique<Input>();
+    if (!in->open(files_[nextFile_])) {
+        fail(files_[nextFile_] +
+             (gzipSupported()
+                  ? ": cannot open trace file"
+                  : ": cannot open trace file (note: .gz needs a "
+                    "zlib build)"));
+        return false;
+    }
+    in_ = std::move(in);
+    ++nextFile_;
+    return true;
+}
+
+bool
+TextTraceReader::parseLine(const char *begin, const char *end,
+                           Access &a)
+{
+    const char *p = begin;
+    while (p < end && isSpace(*p))
+        ++p;
+    if (p == end || *p == '#' ||
+        (p + 1 < end && p[0] == '/' && p[1] == '/'))
+        return false; // blank or comment
+
+    auto malformed = [&](const std::string &reason) {
+        std::ostringstream os;
+        os << in_->path << ":" << in_->line << ": " << reason << ": '"
+           << std::string(begin, static_cast<std::size_t>(end - begin))
+           << "'";
+        fail(os.str());
+        return false;
+    };
+
+    // Field 1: processor id, or the r/w column of the two-field form.
+    long proc = -1;
+    if (std::isdigit(static_cast<unsigned char>(*p))) {
+        proc = 0;
+        while (p < end &&
+               std::isdigit(static_cast<unsigned char>(*p))) {
+            proc = proc * 10 + (*p - '0');
+            if (proc > 0xffff)
+                return malformed("processor id overflows");
+            ++p;
+        }
+        if (p == end || !isSpace(*p))
+            return malformed("expected whitespace after processor id");
+        while (p < end && isSpace(*p))
+            ++p;
+    } else {
+        if (in_->defaultProc < 0)
+            return malformed(
+                "two-field line in a file whose name carries no _<N> "
+                "processor suffix");
+        proc = in_->defaultProc;
+    }
+    if (proc >= static_cast<long>(maxProcs_)) {
+        std::ostringstream os;
+        os << "processor " << proc << " out of range (machine has "
+           << maxProcs_ << " nodes; raise --nodes)";
+        return malformed(os.str());
+    }
+
+    // Field 2: r or w.
+    if (p == end)
+        return malformed("missing r/w column");
+    const char op = *p++;
+    if (op != 'r' && op != 'R' && op != 'w' && op != 'W')
+        return malformed("operation must be r or w");
+    if (p == end || !isSpace(*p))
+        return malformed("expected whitespace after operation");
+    while (p < end && isSpace(*p))
+        ++p;
+
+    // Field 3: hex address, optional 0x prefix.
+    if (p + 1 < end && p[0] == '0' && (p[1] == 'x' || p[1] == 'X'))
+        p += 2;
+    if (p == end ||
+        !std::isxdigit(static_cast<unsigned char>(*p)))
+        return malformed("missing or non-hex address");
+    Addr addr = 0;
+    unsigned digits = 0;
+    while (p < end && std::isxdigit(static_cast<unsigned char>(*p))) {
+        const char c = *p++;
+        addr = (addr << 4) |
+               static_cast<Addr>(
+                   c <= '9' ? c - '0'
+                            : (c | 0x20) - 'a' + 10);
+        if (++digits > 16)
+            return malformed("address exceeds 64 bits");
+    }
+    while (p < end && isSpace(*p))
+        ++p;
+    if (p != end)
+        return malformed("trailing garbage after address");
+
+    a.proc = static_cast<NodeId>(proc);
+    a.write = op == 'w' || op == 'W';
+    a.addr = addr;
+    return true;
+}
+
+std::size_t
+TextTraceReader::next(std::vector<Access> &out, std::size_t max)
+{
+    out.clear();
+    while (out.size() < max) {
+        // Drain the parse-ahead buffer first, even after a failure:
+        // accesses parsed ahead of a malformed line are still valid
+        // and are delivered before next() starts returning 0.
+        while (cursor_ < pending_.size() && out.size() < max)
+            out.push_back(pending_[cursor_++]);
+        if (out.size() == max)
+            break;
+        pending_.clear();
+        cursor_ = 0;
+        if (failed_)
+            break;
+
+        if (in_ == nullptr) {
+            if (exhausted_ || !openNextFile())
+                break;
+        }
+
+        // Refill: one chunk, parsed line by line into pending_.
+        char *buf = in_->buf.data();
+        const long got = in_->read(buf, in_->buf.size());
+        if (got < 0) {
+            fail(in_->path + ": read error mid-stream");
+            break;
+        }
+        bytes_ += static_cast<std::uint64_t>(got);
+
+        auto consume = [&](const char *b, const char *e) {
+            ++in_->line;
+            ++lines_;
+            Access a;
+            if (parseLine(b, e, a)) {
+                pending_.push_back(a);
+                ++accesses_;
+            }
+            return !failed_;
+        };
+
+        if (got == 0) {
+            // EOF: the carry, if any, is the file's unterminated
+            // final line.
+            if (!in_->carry.empty()) {
+                const std::string last = std::move(in_->carry);
+                consume(last.data(), last.data() + last.size());
+            }
+            in_.reset();
+            if (nextFile_ >= files_.size())
+                exhausted_ = true;
+            continue;
+        }
+
+        const char *p = buf;
+        const char *chunk_end = buf + got;
+        while (p < chunk_end) {
+            const char *nl = static_cast<const char *>(
+                std::memchr(p, '\n', static_cast<std::size_t>(
+                                         chunk_end - p)));
+            if (nl == nullptr) {
+                in_->carry.append(p, chunk_end);
+                break;
+            }
+            if (!in_->carry.empty()) {
+                in_->carry.append(p, nl);
+                const std::string line = std::move(in_->carry);
+                in_->carry.clear();
+                if (!consume(line.data(),
+                             line.data() + line.size()))
+                    break;
+            } else if (!consume(p, nl)) {
+                break;
+            }
+            p = nl + 1;
+        }
+    }
+    return out.size();
+}
+
+std::uint64_t
+writeTextTrace(const std::string &path, TrafficSource &source,
+               std::uint64_t max_accesses)
+{
+    const bool gz =
+        path.size() > 3 && path.compare(path.size() - 3, 3, ".gz") == 0;
+#if COSMOS_HAS_ZLIB
+    gzFile gzf = nullptr;
+    std::FILE *fp = nullptr;
+    if (gz)
+        gzf = gzopen(path.c_str(), "wb");
+    else
+        fp = std::fopen(path.c_str(), "wb");
+    if (gzf == nullptr && fp == nullptr)
+        cosmos_fatal("cannot open trace file for writing: ", path);
+#else
+    if (gz)
+        cosmos_fatal("cannot write ", path,
+                     ": this build has no zlib (write a plain .trc "
+                     "and gzip it afterwards)");
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    if (fp == nullptr)
+        cosmos_fatal("cannot open trace file for writing: ", path);
+#endif
+
+    std::uint64_t written = 0;
+    std::vector<Access> batch;
+    char line[64];
+    while (written < max_accesses) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(max_accesses - written, 8192));
+        if (source.next(batch, want) == 0)
+            break;
+        for (const Access &a : batch) {
+            const int n = std::snprintf(
+                line, sizeof line, "%u %c 0x%llx\n",
+                static_cast<unsigned>(a.proc), a.write ? 'w' : 'r',
+                static_cast<unsigned long long>(a.addr));
+            bool ok = false;
+#if COSMOS_HAS_ZLIB
+            if (gzf != nullptr)
+                ok = gzwrite(gzf, line, static_cast<unsigned>(n)) == n;
+            else
+#endif
+                ok = std::fwrite(line, 1,
+                                 static_cast<std::size_t>(n),
+                                 fp) == static_cast<std::size_t>(n);
+            if (!ok)
+                cosmos_fatal("error writing trace file: ", path);
+            ++written;
+        }
+    }
+    if (source.failed())
+        cosmos_fatal("traffic source failed while exporting: ",
+                     source.error());
+#if COSMOS_HAS_ZLIB
+    if (gzf != nullptr) {
+        if (gzclose(gzf) != Z_OK)
+            cosmos_fatal("error finishing gzip trace file: ", path);
+    } else
+#endif
+        if (std::fclose(fp) != 0)
+            cosmos_fatal("error closing trace file: ", path);
+    return written;
+}
+
+std::string
+formatAccesses(const std::vector<Access> &accesses)
+{
+    std::string out;
+    char line[64];
+    for (const Access &a : accesses) {
+        std::snprintf(line, sizeof line, "%u %c 0x%llx\n",
+                      static_cast<unsigned>(a.proc),
+                      a.write ? 'w' : 'r',
+                      static_cast<unsigned long long>(a.addr));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace cosmos::forge

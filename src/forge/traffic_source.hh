@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The traffic front door: a common streaming interface over every
+ * source of per-processor shared-memory accesses.
+ *
+ * The built-in workload kernels (src/workloads) synthesize their
+ * access skeletons from miniature host computations. A TrafficSource
+ * abstracts that stream so the same machine + predictor pipeline can
+ * also consume (a) externally captured multiprocessor traces in the
+ * de-facto `<processor> <r|w> <hex-addr>` text format (text_trace.hh)
+ * and (b) unbounded synthetic streams with controlled sharing
+ * structure and known ground truth (synth.hh). harness::runTraffic
+ * drives any TrafficSource through the simulator exactly like a
+ * kernel run, so predictors, census, fuzzing, and benches all work
+ * over every source.
+ */
+
+#ifndef COSMOS_FORGE_TRAFFIC_SOURCE_HH
+#define COSMOS_FORGE_TRAFFIC_SOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cosmos::forge
+{
+
+/** One shared-memory access by one processor. */
+struct Access
+{
+    NodeId proc = 0;
+    bool write = false;
+    Addr addr = 0;
+
+    bool operator==(const Access &) const = default;
+};
+
+/**
+ * Streaming producer of accesses.
+ *
+ * Sources are pulled in chunks so multi-GB trace files never
+ * materialize as whole vectors, and synthetic sources can be
+ * unbounded. A source that encounters an input error latches
+ * failed(); next() then returns 0 and error() explains what went
+ * wrong (with file and line number for text traces).
+ */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Human-readable source name (becomes the trace's app name). */
+    virtual const std::string &name() const = 0;
+
+    /** Processors the stream may reference (ids in [0, numProcs)). */
+    virtual NodeId numProcs() const = 0;
+
+    /** True when the stream ends on its own (trace files); false for
+     *  unbounded generators, which need an external iteration cap. */
+    virtual bool bounded() const = 0;
+
+    /**
+     * Replace @p out with up to @p max further accesses.
+     * @return the number produced; 0 means exhausted or failed().
+     */
+    virtual std::size_t next(std::vector<Access> &out,
+                             std::size_t max) = 0;
+
+    /** True after an unrecoverable input error. */
+    virtual bool failed() const { return false; }
+
+    /** Diagnostic for failed(); empty when healthy. */
+    virtual std::string error() const { return {}; }
+};
+
+} // namespace cosmos::forge
+
+#endif // COSMOS_FORGE_TRAFFIC_SOURCE_HH

@@ -112,10 +112,8 @@ classify(const BlockHistory &h, unsigned min_messages)
     return SharingPattern::multi_writer;
 }
 
-} // namespace
-
-PatternCensus
-classifyTrace(const Trace &t, unsigned min_messages)
+std::map<Addr, BlockHistory>
+buildHistories(const Trace &t)
 {
     std::map<Addr, BlockHistory> histories;
     for (const auto &r : t.records) {
@@ -143,9 +141,16 @@ classifyTrace(const Trace &t, unsigned min_messages)
             break;
         }
     }
+    return histories;
+}
 
+} // namespace
+
+PatternCensus
+classifyTrace(const Trace &t, unsigned min_messages)
+{
     PatternCensus census;
-    for (const auto &[block, h] : histories) {
+    for (const auto &[block, h] : buildHistories(t)) {
         const auto p = classify(h, min_messages);
         ++census.blocks[static_cast<unsigned>(p)];
         census.messages[static_cast<unsigned>(p)] += h.messages;
@@ -153,6 +158,15 @@ classifyTrace(const Trace &t, unsigned min_messages)
         census.totalMessages += h.messages;
     }
     return census;
+}
+
+std::map<Addr, SharingPattern>
+classifyBlocks(const Trace &t, unsigned min_messages)
+{
+    std::map<Addr, SharingPattern> out;
+    for (const auto &[block, h] : buildHistories(t))
+        out.emplace(block, classify(h, min_messages));
+    return out;
 }
 
 } // namespace cosmos::trace

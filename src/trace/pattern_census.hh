@@ -14,6 +14,7 @@
 #define COSMOS_TRACE_PATTERN_CENSUS_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "trace/trace.hh"
@@ -60,6 +61,15 @@ struct PatternCensus
  */
 PatternCensus classifyTrace(const Trace &t,
                             unsigned min_messages = 6);
+
+/**
+ * Per-block classification (block address -> pattern) -- the raw
+ * form classifyTrace aggregates. Blocks with no directory-side
+ * records do not appear. The forge (src/forge) scores its
+ * ground-truth labels against this map.
+ */
+std::map<Addr, SharingPattern>
+classifyBlocks(const Trace &t, unsigned min_messages = 6);
 
 } // namespace cosmos::trace
 

@@ -28,38 +28,65 @@ put(std::ostream &os, const T &v)
 /**
  * Checked reader over a binary stream. A failed or implausible read
  * latches ok = false; subsequent gets return zeroes, so a parse can
- * run to completion and be judged once at the end.
+ * run to completion and be judged once at the end. The first failure
+ * records its byte offset and reason for the caller's diagnostic.
  */
 struct Reader
 {
     std::istream &is;
     bool ok = true;
+    std::uint64_t offset = 0; ///< bytes successfully consumed
+    ReadDiagnostic diag{};
+
+    /** Latch the first failure with the position it happened at. */
+    void
+    fail(const std::string &reason)
+    {
+        if (!ok)
+            return;
+        ok = false;
+        diag.offset = offset;
+        diag.reason = reason;
+    }
 
     template <typename T>
     T
-    get()
+    get(const char *what)
     {
         T v{};
         if (!ok)
             return v;
         is.read(reinterpret_cast<char *>(&v), sizeof(v));
-        if (!is)
-            ok = false;
+        if (!is) {
+            fail("truncated while reading " + std::string(what) +
+                 " (" + std::to_string(is.gcount()) + " of " +
+                 std::to_string(sizeof(v)) + " bytes available)");
+        } else {
+            offset += sizeof(v);
+        }
         return v;
     }
 
     std::string
-    getString()
+    getString(const char *what)
     {
-        const auto n = get<std::uint32_t>();
-        if (!ok || n > (1u << 20)) {
-            ok = false;
+        const auto n = get<std::uint32_t>("length of string");
+        if (!ok)
+            return {};
+        if (n > (1u << 20)) {
+            fail("implausible " + std::string(what) + " length " +
+                 std::to_string(n));
             return {};
         }
         std::string s(n, '\0');
         is.read(s.data(), n);
-        if (!is)
-            ok = false;
+        if (!is) {
+            fail("truncated while reading " + std::string(what) +
+                 " (" + std::to_string(is.gcount()) + " of " +
+                 std::to_string(n) + " bytes available)");
+            return {};
+        }
+        offset += n;
         return s;
     }
 };
@@ -94,50 +121,79 @@ writeTrace(std::ostream &os, const Trace &t)
     }
 }
 
+std::string
+ReadDiagnostic::format(const std::string &name) const
+{
+    return name + ": " + (reason.empty() ? "malformed trace" : reason) +
+           " at byte offset " + std::to_string(offset);
+}
+
 std::optional<Trace>
-tryReadTrace(std::istream &is)
+tryReadTrace(std::istream &is, ReadDiagnostic *diag)
 {
     Reader in{is};
-    if (in.get<std::uint32_t>() != trace_magic || !in.ok)
+    const auto report = [&]() -> std::optional<Trace> {
+        if (diag != nullptr)
+            *diag = in.diag;
         return std::nullopt;
+    };
+    if (in.get<std::uint32_t>("magic") != trace_magic || !in.ok) {
+        if (in.ok) {
+            in.offset = 0; // the foreign bytes start at the top
+            in.fail("bad magic (not a cosmos trace file)");
+        }
+        return report();
+    }
     Trace t;
-    t.app = in.getString();
-    t.numNodes = in.get<NodeId>();
-    t.blockBytes = in.get<unsigned>();
-    t.iterations = in.get<std::int32_t>();
-    t.seed = in.get<std::uint64_t>();
-    const auto n = in.get<std::uint64_t>();
+    t.app = in.getString("app name");
+    t.numNodes = in.get<NodeId>("node count");
+    t.blockBytes = in.get<unsigned>("block size");
+    t.iterations = in.get<std::int32_t>("iteration count");
+    t.seed = in.get<std::uint64_t>("seed");
+    const auto n = in.get<std::uint64_t>("record count");
     if (!in.ok)
-        return std::nullopt;
+        return report();
     // Cap the up-front reservation: a corrupt count would otherwise
     // ask for terabytes before the record reads fail.
     t.records.reserve(
         static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 22)));
     for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t at = in.offset;
         TraceRecord r;
-        r.block = in.get<Addr>();
-        r.when = in.get<Tick>();
-        r.receiver = in.get<NodeId>();
-        r.sender = in.get<NodeId>();
-        r.type = static_cast<proto::MsgType>(in.get<std::uint8_t>());
-        r.role = static_cast<proto::Role>(in.get<std::uint8_t>());
-        r.iteration = in.get<std::int32_t>();
-        if (!in.ok)
-            return std::nullopt;
+        r.block = in.get<Addr>("record block address");
+        r.when = in.get<Tick>("record timestamp");
+        r.receiver = in.get<NodeId>("record receiver");
+        r.sender = in.get<NodeId>("record sender");
+        r.type = static_cast<proto::MsgType>(
+            in.get<std::uint8_t>("record message type"));
+        r.role = static_cast<proto::Role>(
+            in.get<std::uint8_t>("record role"));
+        r.iteration = in.get<std::int32_t>("record iteration");
+        if (!in.ok) {
+            in.diag.reason = "record " + std::to_string(i) + " of " +
+                             std::to_string(n) + ": " + in.diag.reason;
+            return report();
+        }
         if (static_cast<unsigned>(r.type) >= proto::num_msg_types ||
-            static_cast<std::uint8_t>(r.role) > 1)
-            return std::nullopt;
+            static_cast<std::uint8_t>(r.role) > 1) {
+            in.offset = at;
+            in.fail("record " + std::to_string(i) + " of " +
+                    std::to_string(n) + " has an invalid message "
+                    "type or role");
+            return report();
+        }
         t.records.push_back(r);
     }
     return t;
 }
 
 Trace
-readTrace(std::istream &is)
+readTrace(std::istream &is, const std::string &name)
 {
-    auto t = tryReadTrace(is);
+    ReadDiagnostic diag;
+    auto t = tryReadTrace(is, &diag);
     if (!t)
-        cosmos_panic("malformed trace stream");
+        cosmos_panic("malformed trace stream: ", diag.format(name));
     return std::move(*t);
 }
 
@@ -182,7 +238,7 @@ loadTrace(const std::string &path)
     std::ifstream is(path, std::ios::binary);
     if (!is)
         cosmos_fatal("cannot open trace file: ", path);
-    return readTrace(is);
+    return readTrace(is, path);
 }
 
 std::optional<Trace>

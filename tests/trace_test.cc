@@ -170,6 +170,70 @@ TEST(TraceIo, TryReadRecoversFromMalformedStreams)
     EXPECT_EQ(back->records, t.records);
 }
 
+TEST(TraceIo, DiagnosticsCarryOffsetAndReason)
+{
+    Trace t;
+    t.app = "diag";
+    TraceRecord r;
+    r.type = proto::MsgType::get_ro_request;
+    t.records.push_back(r);
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const std::string bytes = ss.str();
+
+    // Bad magic fails at offset 0 and says the file is foreign.
+    ReadDiagnostic diag;
+    std::stringstream junk("zzzz not a trace");
+    EXPECT_FALSE(tryReadTrace(junk, &diag).has_value());
+    EXPECT_EQ(diag.offset, 0u);
+    EXPECT_NE(diag.reason.find("bad magic"), std::string::npos)
+        << diag.reason;
+
+    // Truncation inside the header points past the 4-byte magic and
+    // names the missing bytes.
+    std::stringstream cut(bytes.substr(0, 6));
+    EXPECT_FALSE(tryReadTrace(cut, &diag).has_value());
+    EXPECT_EQ(diag.offset, 4u);
+    EXPECT_NE(diag.reason.find("truncated"), std::string::npos)
+        << diag.reason;
+
+    // Truncation inside a record names the record index.
+    std::stringstream mid(bytes.substr(0, bytes.size() - 3));
+    EXPECT_FALSE(tryReadTrace(mid, &diag).has_value());
+    EXPECT_NE(diag.reason.find("record 0 of 1"), std::string::npos)
+        << diag.reason;
+
+    // format() stitches in the source name for user-facing errors.
+    const std::string msg = diag.format("foo.trace");
+    EXPECT_NE(msg.find("foo.trace"), std::string::npos);
+    EXPECT_NE(msg.find("byte offset"), std::string::npos);
+}
+
+TEST(TraceIoDeathTest, LoadTracePanicsWithPathAndOffset)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "/cosmos_diag_trace";
+    fs::create_directories(dir);
+    const std::string path = dir + "/cut.trace";
+
+    Trace t;
+    t.app = "diag";
+    TraceRecord r;
+    r.type = proto::MsgType::get_ro_request;
+    t.records.push_back(r);
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const std::string bytes = ss.str();
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size() - 5));
+    os.close();
+    EXPECT_DEATH(loadTrace(path),
+                 "malformed.*cut\\.trace.*byte offset");
+    fs::remove_all(dir);
+}
+
 TEST(TraceIo, TryLoadMissingFileReturnsNullopt)
 {
     EXPECT_FALSE(

@@ -5,7 +5,13 @@
  * Subcommands:
  *   list                         available workloads
  *   run <app> [options]          simulate; print a run summary and
- *                                optionally save the message trace
+ *                                optionally save the message trace.
+ *                                Instead of a built-in app, traffic
+ *                                can come from an external capture
+ *                                (--trace-file) or the synthetic
+ *                                forge (--forge)
+ *   gen [options]                write a forge stream as a text
+ *                                trace file (--forge ... --out F)
  *   analyze <trace> [options]    replay a saved trace through Cosmos
  *   sweep <app> [options]        depth x filter accuracy table
  *   accel <app> [options]        baseline vs predictor-accelerated run
@@ -27,6 +33,10 @@
  *                    simulator's FIFO contract)
  *   --max-states N   abort (as a liveness failure) past N states
  *   --forwarding     enable SGI-Origin-style request forwarding
+ *                    (three-hop; see ARCHITECTURE.md "Protocol
+ *                    assumptions" for the FIFO-channel requirement
+ *                    and the direct-reply-vs-next-invalidation race
+ *                    this mode is subject to)
  *   --inject-ignore-inval N
  *                    plant the lost-invalidation bug (the checker
  *                    must find an SWMR counterexample)
@@ -43,6 +53,10 @@
  *   --blocks N       contended blocks (default 8)
  *   --ops N          random ops per node (default 64)
  *   --jitter T       max extra delivery delay in ticks (default 64)
+ *   --forge-mix F    probability in [0,1] that a case's workload is
+ *                    structured forge traffic (migratory /
+ *                    producer-consumer / false-sharing rounds)
+ *                    instead of uniform random ops (default 0)
  *   --inject-ignore-inval N
  *                    plant a lost-invalidation bug: every Nth
  *                    inval_ro ack skips the invalidation (negative
@@ -53,8 +67,25 @@
  *                    through the real simulator (jitter 0); exits
  *                    nonzero when the invariant engine confirms it
  *
+ * Traffic options (run / gen):
+ *   --trace-file P   (run) replay an external text trace -- a file of
+ *                    `<proc> <r|w> <hexaddr>` lines or a benchmark
+ *                    directory of such files (.gz transparent when
+ *                    zlib is available). Use --nodes for machines
+ *                    bigger than the default 16
+ *   --forge SPEC     (run/gen) synthetic traffic with ground-truth
+ *                    labels; SPEC is key=value pairs: migratory,
+ *                    false, private, readonly (class fractions),
+ *                    fanout, phase, blocks, procs, seed
+ *   --forge-out F    (run --forge) write the per-class accuracy
+ *                    report as cosmos-forge-v1 JSON
+ *   --chunk N        accesses replayed per barrier-delimited chunk
+ *                    (default 2048)
+ *   --accesses N     (gen) accesses to write (default 100000)
+ *
  * Common options:
- *   --iterations N   override the workload's iteration count
+ *   --iterations N   override the workload's iteration count; for
+ *                    --forge, chunks to generate (default 64)
  *   --seed S         simulation seed (decimal or 0x hex)
  *   --policy P       owner-read policy: half-migratory | downgrade
  *   --depth D        MHR depth for analyze (default 2)
@@ -79,17 +110,26 @@
  *       --trace-out trace.json
  *   cosmos accel micro_rmw
  *   cosmos figures appbt --out figs/
+ *   cosmos gen --forge migratory=0.4,fanout=3 --out synth.trace
+ *   cosmos run --trace-file synth.trace --nodes 16
+ *   cosmos run --forge migratory=0.4,phase=8 --forge-out forge.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "check/fuzzer.hh"
+#include "common/log.hh"
 #include "common/table.hh"
+#include "forge/score.hh"
+#include "forge/synth.hh"
+#include "forge/text_trace.hh"
+#include "harness/traffic.hh"
 #include "model/explorer.hh"
 #include "model/report.hh"
 #include "cosmos/predictor_bank.hh"
@@ -132,6 +172,14 @@ struct CliArgs
     Tick fuzzJitter = 64;
     unsigned injectIgnoreInval = 0;
     std::string replayModel;
+    double forgeMix = 0.0;
+
+    // traffic options (run / gen)
+    std::string traceFile;
+    std::string forgeSpec;
+    std::string forgeOut;
+    std::size_t chunk = 2048;
+    std::uint64_t genAccesses = 100000;
 
     // model-only options (--nodes / --blocks are shared with fuzz,
     // whose defaults differ, so the model command only overrides its
@@ -150,14 +198,20 @@ usage()
     std::fprintf(
         stderr,
         "usage: cosmos "
-        "<list|run|analyze|sweep|accel|figures|census|fuzz|model> "
+        "<list|run|gen|analyze|sweep|accel|figures|census|fuzz|model> "
         "[target] [--iterations N] [--seed S]\n"
         "              [--policy half-migratory|downgrade] "
         "[--depth D] [--filter F] [--threads N] [--out FILE]\n"
         "              [--metrics-out FILE] [--trace-out FILE]\n"
+        "       cosmos run --trace-file PATH [--nodes N] [--chunk N] "
+        "[--out FILE]\n"
+        "       cosmos run --forge SPEC [--nodes N] [--iterations N] "
+        "[--forge-out FILE]\n"
+        "       cosmos gen --forge SPEC --out FILE [--accesses N]\n"
         "       cosmos fuzz [--seeds N] [--seed S] [--replay S] "
         "[--nodes N] [--blocks N] [--ops N]\n"
-        "              [--jitter T] [--inject-ignore-inval N] "
+        "              [--jitter T] [--forge-mix F] "
+        "[--inject-ignore-inval N] "
         "[--replay-model FILE] [--out FILE]\n"
         "       cosmos model [--nodes N] [--blocks N] [--reorder K] "
         "[--max-states N] [--forwarding]\n"
@@ -229,6 +283,19 @@ parse(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(value()));
         } else if (flag == "--replay-model") {
             args.replayModel = value();
+        } else if (flag == "--forge-mix") {
+            args.forgeMix = std::atof(value());
+        } else if (flag == "--trace-file") {
+            args.traceFile = value();
+        } else if (flag == "--forge") {
+            args.forgeSpec = value();
+        } else if (flag == "--forge-out") {
+            args.forgeOut = value();
+        } else if (flag == "--chunk") {
+            args.chunk = static_cast<std::size_t>(
+                std::strtoull(value(), nullptr, 0));
+        } else if (flag == "--accesses") {
+            args.genAccesses = std::strtoull(value(), nullptr, 0);
         } else if (flag == "--reorder") {
             args.modelReorder =
                 static_cast<unsigned>(std::atoi(value()));
@@ -316,9 +383,153 @@ cmdList()
     return 0;
 }
 
+/** The shared first lines of every run summary. */
+void
+printRunSummary(const std::string &label,
+                const harness::RunResult &result)
+{
+    std::printf("%s: %zu messages, %zu blocks, %llu events, "
+                "%llu ns simulated\n",
+                label.c_str(), result.trace.records.size(),
+                result.trace.distinctBlocks(),
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(result.finalTime));
+    std::printf("network: %s\n", result.network.format().c_str());
+}
+
+/** `cosmos run --trace-file` / `cosmos run --forge`: pull traffic
+ *  from an external capture or the synthetic forge instead of a
+ *  built-in kernel. */
+int
+cmdRunTraffic(const CliArgs &args)
+{
+    if (!args.traceFile.empty() && !args.forgeSpec.empty())
+        usage();
+    obs::Registry reg;
+    harness::TrafficConfig cfg;
+    cfg.machine.ownerReadPolicy = args.policy;
+    cfg.machine.seed = args.seed;
+    cfg.opsPerIteration = args.chunk;
+    cfg.maxIterations = args.iterations;
+    if (!args.metricsOut.empty())
+        cfg.metrics = &reg;
+
+    std::unique_ptr<forge::TextTraceReader> reader;
+    std::unique_ptr<forge::SynthSource> synth;
+    forge::TrafficSource *source = nullptr;
+    if (!args.traceFile.empty()) {
+        cfg.machine.numNodes =
+            args.haveNodes ? static_cast<NodeId>(args.fuzzNodes)
+                           : cfg.machine.numNodes;
+        reader = std::make_unique<forge::TextTraceReader>(
+            args.traceFile, cfg.machine.numNodes);
+        source = reader.get();
+    } else {
+        forge::ForgeParams params;
+        std::string err;
+        if (!forge::ForgeParams::parse(args.forgeSpec, params,
+                                       &err)) {
+            std::fprintf(stderr, "bad --forge spec: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        cfg.machine.numNodes =
+            args.haveNodes ? static_cast<NodeId>(args.fuzzNodes)
+                           : params.numProcs;
+        cfg.machine.blockBytes = params.blockBytes;
+        cfg.machine.pageBytes = params.pageBytes;
+        if (cfg.maxIterations < 0)
+            cfg.maxIterations = 64; // chunks; forge is unbounded
+        synth = std::make_unique<forge::SynthSource>(params);
+        source = synth.get();
+        std::printf("forge: %s\n", params.summary().c_str());
+    }
+
+    const auto result = harness::runTraffic(cfg, *source);
+    printRunSummary(source->name(), result);
+    if (reader != nullptr) {
+        std::printf("ingested: %llu accesses over %llu lines "
+                    "(%llu bytes%s)\n",
+                    static_cast<unsigned long long>(
+                        reader->accessesRead()),
+                    static_cast<unsigned long long>(
+                        reader->linesRead()),
+                    static_cast<unsigned long long>(
+                        reader->bytesRead()),
+                    forge::gzipSupported() ? ", gzip-capable" : "");
+    }
+
+    if (synth != nullptr) {
+        const auto score = forge::scoreByClass(
+            result.trace, *synth,
+            pred::CosmosConfig{args.depth, args.filter});
+        std::fputs(score.formatTable().c_str(), stdout);
+        if (!args.forgeOut.empty()) {
+            if (forge::writeForgeReport(args.forgeOut, *synth,
+                                        result.trace, score)) {
+                std::printf("forge report written to %s\n",
+                            args.forgeOut.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n",
+                             args.forgeOut.c_str());
+                return 1;
+            }
+        }
+    }
+    if (!args.out.empty()) {
+        trace::saveTrace(args.out, result.trace);
+        std::printf("trace written to %s\n", args.out.c_str());
+    } else if (synth == nullptr) {
+        printAnalysis(result.trace, args.depth, args.filter,
+                      args.metricsOut.empty() ? nullptr : &reg);
+    }
+    maybeWriteMetrics(reg, args.metricsOut);
+    return 0;
+}
+
+/** `cosmos gen`: write a forge stream as a text trace file that
+ *  `cosmos run --trace-file` (or any other simulator speaking the
+ *  format) can ingest. */
+int
+cmdGen(const CliArgs &args)
+{
+    if (args.out.empty())
+        usage();
+    forge::ForgeParams params;
+    std::string err;
+    if (!forge::ForgeParams::parse(args.forgeSpec, params, &err)) {
+        std::fprintf(stderr, "bad --forge spec: %s\n", err.c_str());
+        return 2;
+    }
+    forge::SynthSource src(params);
+    std::printf("forge: %s\n", params.summary().c_str());
+    const std::uint64_t n =
+        forge::writeTextTrace(args.out, src, args.genAccesses);
+    std::vector<std::uint64_t> byClass(forge::num_block_classes, 0);
+    for (forge::BlockClass c : src.labels())
+        ++byClass[static_cast<unsigned>(c)];
+    std::printf("wrote %llu accesses (%u full rounds) to %s\n",
+                static_cast<unsigned long long>(n), src.round(),
+                args.out.c_str());
+    std::printf("ground truth:");
+    for (unsigned i = 0; i < forge::num_block_classes; ++i) {
+        std::printf(" %s=%llu",
+                    forge::toString(
+                        static_cast<forge::BlockClass>(i)),
+                    static_cast<unsigned long long>(byClass[i]));
+    }
+    std::printf(" blocks\n");
+    return 0;
+}
+
 int
 cmdRun(const CliArgs &args)
 {
+    if (!args.traceFile.empty() || !args.forgeSpec.empty()) {
+        if (!args.target.empty())
+            usage();
+        return cmdRunTraffic(args);
+    }
     if (args.target.empty())
         usage();
     obs::Registry reg;
@@ -326,13 +537,7 @@ cmdRun(const CliArgs &args)
     if (!args.metricsOut.empty())
         cfg.metrics = &reg;
     auto result = harness::runWorkload(cfg);
-    std::printf("%s: %zu messages, %zu blocks, %llu events, "
-                "%llu ns simulated\n",
-                args.target.c_str(), result.trace.records.size(),
-                result.trace.distinctBlocks(),
-                static_cast<unsigned long long>(result.events),
-                static_cast<unsigned long long>(result.finalTime));
-    std::printf("network: %s\n", result.network.format().c_str());
+    printRunSummary(args.target, result);
     if (!result.workloadStats.empty())
         std::printf("workload: %s\n", result.workloadStats.c_str());
     std::printf("protocol: %llu loads, %llu stores, %llu read "
@@ -497,6 +702,7 @@ makeFuzzOptions(const CliArgs &args)
     opts.opsPerNode = args.fuzzOps;
     opts.maxJitter = args.fuzzJitter;
     opts.ignoreInvalEvery = args.injectIgnoreInval;
+    opts.forgeMix = args.forgeMix;
     return opts;
 }
 
@@ -634,6 +840,8 @@ dispatch(const CliArgs &args)
         return cmdList();
     if (args.command == "run")
         return cmdRun(args);
+    if (args.command == "gen")
+        return cmdGen(args);
     if (args.command == "analyze")
         return cmdAnalyze(args);
     if (args.command == "sweep")

@@ -1,0 +1,35 @@
+# Smoke test: `cosmos gen --forge` then `cosmos run --trace-file`
+# round-trips a text trace through the streaming parser, and a
+# malformed line is rejected with its file:line position.
+execute_process(
+    COMMAND ${CLI} gen
+            --forge migratory=0.3,false=0.1,blocks=16,procs=4
+            --accesses 4000 --out ${WORK}/forge_roundtrip.trace
+    RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+    message(FATAL_ERROR "cosmos gen failed: ${rc1}")
+endif()
+execute_process(
+    COMMAND ${CLI} run --trace-file ${WORK}/forge_roundtrip.trace
+            --nodes 4
+    RESULT_VARIABLE rc2
+    OUTPUT_VARIABLE out)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR "cosmos run --trace-file failed: ${rc2}")
+endif()
+if(NOT out MATCHES "ingested: 4000 accesses")
+    message(FATAL_ERROR "run did not ingest all generated accesses")
+endif()
+file(WRITE ${WORK}/forge_bad.trace "0 r 0x40\n1 q 0x80\n")
+execute_process(
+    COMMAND ${CLI} run --trace-file ${WORK}/forge_bad.trace --nodes 4
+    RESULT_VARIABLE rc3
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+if(rc3 EQUAL 0)
+    message(FATAL_ERROR "malformed trace line was not rejected")
+endif()
+if(NOT err MATCHES "forge_bad.trace:2:")
+    message(FATAL_ERROR
+        "rejection diagnostic lacks file:line position: ${err}")
+endif()
