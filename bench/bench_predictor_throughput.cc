@@ -4,19 +4,32 @@
  *
  * Before timing anything, the full Table 5 / Table 6 replay grid (40
  * cells) is replayed and every accuracy counter is checked against
- * the pinned goldens in tests/fixtures/golden_accuracy.hh -- a hot-
- * path optimization that shifts a single integer is reported as
- * FAILED golden drift and the process exits nonzero, so CI can gate
- * on this binary.
+ * the pinned goldens in tests/fixtures/golden_accuracy.hh -- twice:
+ * once through the (batched) sweep engine and once with every job
+ * forced onto 4 block shards, so a hot-path optimization that shifts
+ * a single integer in either the batched or the sharded pipeline is
+ * reported as FAILED golden drift and the process exits nonzero.
  *
  * It then reports messages/second for:
- *  - serial replay of the dsmc trace at MHR depths 1, 2, and 4
- *    (the tracked headline number; dsmc is the densest trace);
+ *  - serial replay of the dsmc trace at MHR depths 1, 2, and 4, in
+ *    two modes per depth: "scalar" (the PR-2 baseline methodology,
+ *    bank construction + record-order replay timed together) and
+ *    "batched" (census + reservation + construction outside the
+ *    timed region, the batched SoA replay alone timed -- the tracked
+ *    headline number);
  *  - a parallel sweep of the whole 40-cell grid via harness::runSweep
- *    with --threads N workers.
+ *    with --threads N workers;
+ *  - a streaming cell: a large synthetic access stream
+ *    (forge::SynthSource, --stream-blocks blocks) lowered to
+ *    coherence messages on the fly (forge::CoherenceMessageStream)
+ *    and replayed in constant memory through replay::replayStream
+ *    with --stream-shards predictor shards. End-to-end time
+ *    (generation + lowering + replay) is reported; the stream never
+ *    materializes, so --stream-messages can exceed RAM.
  *
- * Results are written as JSON (default BENCH_predictor_throughput.json)
- * so successive CI runs can be compared.
+ * Results are written as JSON (default BENCH_predictor_throughput.json,
+ * schema cosmos-bench-predictor-v2, validated by scripts/check_json.py
+ * --schema bench) so successive CI runs can be compared.
  *
  * --dump-goldens replays the grid and prints fixture rows instead;
  * paste the output into golden_accuracy.hh when the *model* changes
@@ -33,32 +46,29 @@
 #include "bench_util.hh"
 #include "cosmos/predictor_bank.hh"
 #include "fixtures/golden_accuracy.hh"
+#include "forge/msg_stream.hh"
+#include "forge/synth.hh"
 #include "harness/sweep.hh"
 #include "harness/trace_cache.hh"
+#include "replay/stream.hh"
 
 namespace
 {
 
 using namespace cosmos;
-
-double
-secondsSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
+using bench::secondsSince;
 
 /** The fixture's replay grid, in fixture row order. */
 std::vector<replay::ReplayJob>
-goldenJobs()
+goldenJobs(unsigned shards = 0)
 {
     std::vector<replay::ReplayJob> jobs;
     jobs.reserve(fixtures::num_golden_accuracy_rows);
     for (const auto &row : fixtures::golden_accuracy_rows)
         jobs.push_back(
             {.app = row.app,
-             .config = pred::CosmosConfig{row.depth, row.filterMax}});
+             .config = pred::CosmosConfig{row.depth, row.filterMax},
+             .shards = shards});
     return jobs;
 }
 
@@ -103,6 +113,23 @@ checkCell(const fixtures::GoldenAccuracyRow &g, const CellCounters &c)
     return false;
 }
 
+bool
+checkGrid(const std::vector<replay::ReplayResult> &results,
+          const char *label)
+{
+    bool ok = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ok &= checkCell(fixtures::golden_accuracy_rows[i],
+                        counters(results[i].accuracy));
+    }
+    if (!ok)
+        std::fprintf(stderr,
+                     "FAILED (%s): accuracy drifted from "
+                     "tests/fixtures/golden_accuracy.hh\n",
+                     label);
+    return ok;
+}
+
 } // namespace
 
 int
@@ -112,6 +139,9 @@ main(int argc, char **argv)
     double min_seconds = 1.0;
     std::string out_path = "BENCH_predictor_throughput.json";
     bool dump_goldens = false;
+    std::uint64_t stream_messages = 4'000'000;
+    unsigned stream_blocks = 1u << 20;
+    unsigned stream_shards = 0; // 0 = one per worker thread
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -121,13 +151,25 @@ main(int argc, char **argv)
             min_seconds = std::atof(argv[++i]);
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--stream-messages" && i + 1 < argc) {
+            stream_messages = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--stream-blocks" && i + 1 < argc) {
+            stream_blocks =
+                static_cast<unsigned>(std::strtoul(argv[++i],
+                                                   nullptr, 0));
+        } else if (arg == "--stream-shards" && i + 1 < argc) {
+            stream_shards =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--dump-goldens") {
             dump_goldens = true;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--threads N] [--min-seconds S] "
-                         "[--out PATH] [--dump-goldens]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--threads N] [--min-seconds S] "
+                "[--out PATH] [--stream-messages N] "
+                "[--stream-blocks N] [--stream-shards K] "
+                "[--dump-goldens]\n",
+                argv[0]);
             return 2;
         }
     }
@@ -135,7 +177,7 @@ main(int argc, char **argv)
     const auto jobs = goldenJobs();
 
     if (dump_goldens) {
-        // Serial replay, printed in fixture syntax.
+        // Serial scalar replay, printed in fixture syntax.
         for (const auto &job : jobs) {
             const auto &trace = harness::cachedTrace(job.app);
             pred::PredictorBank bank(trace.numNodes, job.config);
@@ -163,29 +205,35 @@ main(int argc, char **argv)
     for (const auto &job : jobs)
         grid_messages += harness::cachedTrace(job.app).records.size();
 
-    // Phase 1: golden gate. The sweep is documented bit-identical to
-    // serial replay, so gating on its results also re-proves that.
+    // Phase 1: golden gate, twice. The sweep engine replays batched,
+    // so the first pass gates the batched pipeline; the second forces
+    // every cell onto 4 block shards and gates the sharded merge.
     auto start = std::chrono::steady_clock::now();
     const auto results = harness::runSweep(jobs, {.threads = threads});
     const double sweep_s = secondsSince(start);
-
-    bool ok = true;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        ok &= checkCell(fixtures::golden_accuracy_rows[i],
-                        counters(results[i].accuracy));
-    }
-    if (!ok) {
-        std::fprintf(stderr,
-                     "FAILED: accuracy drifted from "
-                     "tests/fixtures/golden_accuracy.hh\n");
+    if (!checkGrid(results, "batched sweep"))
         return 1;
-    }
-    std::printf("goldens: all %zu cells bit-identical\n", jobs.size());
+    const auto sharded_results =
+        harness::runSweep(goldenJobs(4), {.threads = threads});
+    if (!checkGrid(sharded_results, "4-shard sweep"))
+        return 1;
+    std::printf("goldens: all %zu cells bit-identical "
+                "(batched and 4-shard)\n",
+                jobs.size());
 
-    // Phase 2: serial replay throughput on dsmc (tracked number).
+    // Phase 2: serial replay throughput on dsmc (tracked numbers).
+    // "scalar" keeps the original methodology -- bank construction +
+    // record-order replay inside the timed region -- so the series
+    // stays comparable across runs. "batched" times the batched SoA
+    // replay alone: the census, table reservation, and construction
+    // happen outside the timed region, which is exactly how the
+    // sweep engine and streaming replay run it.
     const auto &dsmc = harness::cachedTrace("dsmc");
+    const auto dsmc_census = trace::moduleBlockCensus(dsmc);
+    const pred::BatchConfig batch_cfg{};
     struct SerialCell
     {
+        const char *mode;
         unsigned depth;
         int reps;
         double seconds;
@@ -193,23 +241,37 @@ main(int argc, char **argv)
     };
     std::vector<SerialCell> serial_cells;
     for (unsigned depth : {1u, 2u, 4u}) {
-        int reps = 0;
-        start = std::chrono::steady_clock::now();
-        double secs = 0.0;
-        while (secs < min_seconds) {
-            pred::PredictorBank bank(dsmc.numNodes,
-                                     pred::CosmosConfig{depth, 0});
-            bank.replay(dsmc);
-            ++reps;
-            secs = secondsSince(start);
+        const auto scalar = bench::runTimed(
+            [&] {
+                const auto t0 = std::chrono::steady_clock::now();
+                pred::PredictorBank bank(
+                    dsmc.numNodes, pred::CosmosConfig{depth, 0});
+                bank.replay(dsmc);
+                return secondsSince(t0);
+            },
+            min_seconds);
+        const auto batched = bench::runTimed(
+            [&] {
+                pred::PredictorBank bank(
+                    dsmc.numNodes, pred::CosmosConfig{depth, 0});
+                bank.reserveFromCensus(dsmc_census);
+                const auto t0 = std::chrono::steady_clock::now();
+                bank.replayBatched(dsmc, INT32_MAX, batch_cfg);
+                return secondsSince(t0);
+            },
+            min_seconds);
+        for (const auto &[mode, r] :
+             {std::pair{"scalar", scalar}, {"batched", batched}}) {
+            const double mps = static_cast<double>(r.reps) *
+                               static_cast<double>(
+                                   dsmc.records.size()) /
+                               r.seconds;
+            serial_cells.push_back(
+                {mode, depth, r.reps, r.seconds, mps});
+            std::printf("serial dsmc depth %u %-7s: %d reps in "
+                        "%.3f s -> %.2f M msg/s\n",
+                        depth, mode, r.reps, r.seconds, mps / 1e6);
         }
-        const double mps =
-            static_cast<double>(reps) *
-            static_cast<double>(dsmc.records.size()) / secs;
-        serial_cells.push_back({depth, reps, secs, mps});
-        std::printf("serial dsmc depth %u: %d reps in %.3f s -> "
-                    "%.2f M msg/s\n",
-                    depth, reps, secs, mps / 1e6);
     }
 
     const unsigned resolved_threads =
@@ -222,7 +284,46 @@ main(int argc, char **argv)
                 jobs.size(), grid_messages, sweep_s, resolved_threads,
                 resolved_threads == 1 ? "" : "s", sweep_mps / 1e6);
 
-    // Phase 3: JSON for CI tracking.
+    // Phase 3: streaming cell. A --stream-blocks-block synthetic
+    // stream is lowered to messages on the fly and replayed in
+    // constant memory; the timed region is end-to-end (generation +
+    // lowering + routing + replay), one pass -- streams don't rewind.
+    forge::ForgeParams fp;
+    fp.blocks = stream_blocks;
+    forge::SynthSource synth(fp);
+    forge::MsgStreamConfig mcfg;
+    mcfg.blockBytes = fp.blockBytes;
+    mcfg.pageBytes = fp.pageBytes;
+    mcfg.accessesPerIteration = synth.accessesPerRound();
+    mcfg.maxRecords = stream_messages;
+    forge::CoherenceMessageStream stream(synth, mcfg);
+
+    replay::ThreadPool pool(threads);
+    replay::StreamConfig scfg;
+    scfg.shards = stream_shards != 0
+                      ? stream_shards
+                      : static_cast<unsigned>(pool.size());
+    scfg.batch = batch_cfg;
+    replay::StreamStats sstats;
+    start = std::chrono::steady_clock::now();
+    const auto stream_res = replay::replayStream(
+        stream, pred::CosmosConfig{1, 0}, scfg, pool, &sstats);
+    const double stream_s = secondsSince(start);
+    const double stream_mps =
+        stream_s > 0.0
+            ? static_cast<double>(sstats.records) / stream_s
+            : 0.0;
+    std::printf("stream: %llu messages (%u blocks, %llu accesses, "
+                "%llu chunks, %u shard%s) in %.3f s -> %.2f M msg/s, "
+                "overall accuracy %.1f%%\n",
+                (unsigned long long)sstats.records, stream_blocks,
+                (unsigned long long)stream.accesses(),
+                (unsigned long long)sstats.chunks, scfg.shards,
+                scfg.shards == 1 ? "" : "s", stream_s,
+                stream_mps / 1e6,
+                stream_res.accuracy.overall().percent());
+
+    // Phase 4: JSON for CI tracking.
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "FAILED: cannot write %s\n",
@@ -230,17 +331,25 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(f, "{\n  \"bench\": \"predictor_throughput\",\n");
+    std::fprintf(f, "  \"schema\": \"cosmos-bench-predictor-v2\",\n");
     std::fprintf(f, "  \"goldens\": \"pass\",\n");
     std::fprintf(f, "  \"golden_cells\": %zu,\n", jobs.size());
+    std::fprintf(f,
+                 "  \"batch\": {\"depth\": %u, "
+                 "\"prefetch_distance\": %u, \"window\": %zu, "
+                 "\"group_bits\": %u},\n",
+                 batch_cfg.depth, batch_cfg.prefetchDistance,
+                 batch_cfg.window, batch_cfg.groupBits);
     std::fprintf(f, "  \"serial_dsmc\": {\n");
     std::fprintf(f, "    \"records\": %zu,\n", dsmc.records.size());
     std::fprintf(f, "    \"cells\": [\n");
     for (std::size_t i = 0; i < serial_cells.size(); ++i) {
         const auto &c = serial_cells[i];
         std::fprintf(f,
-                     "      {\"depth\": %u, \"reps\": %d, "
-                     "\"seconds\": %.6f, \"messages_per_sec\": %.0f}%s\n",
-                     c.depth, c.reps, c.seconds, c.mps,
+                     "      {\"mode\": \"%s\", \"depth\": %u, "
+                     "\"reps\": %d, \"seconds\": %.6f, "
+                     "\"messages_per_sec\": %.0f}%s\n",
+                     c.mode, c.depth, c.reps, c.seconds, c.mps,
                      i + 1 < serial_cells.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n  },\n");
@@ -250,6 +359,22 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"messages\": %zu,\n", grid_messages);
     std::fprintf(f, "    \"seconds\": %.6f,\n", sweep_s);
     std::fprintf(f, "    \"messages_per_sec\": %.0f\n", sweep_mps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"stream\": {\n");
+    std::fprintf(f, "    \"blocks\": %u,\n", stream_blocks);
+    std::fprintf(f, "    \"procs\": %u,\n", fp.numProcs);
+    std::fprintf(f, "    \"threads\": %u,\n", resolved_threads);
+    std::fprintf(f, "    \"shards\": %u,\n", scfg.shards);
+    std::fprintf(f, "    \"chunk_records\": %zu,\n",
+                 scfg.chunkRecords);
+    std::fprintf(f, "    \"messages\": %llu,\n",
+                 (unsigned long long)sstats.records);
+    std::fprintf(f, "    \"accesses\": %llu,\n",
+                 (unsigned long long)stream.accesses());
+    std::fprintf(f, "    \"chunks\": %llu,\n",
+                 (unsigned long long)sstats.chunks);
+    std::fprintf(f, "    \"seconds\": %.6f,\n", stream_s);
+    std::fprintf(f, "    \"messages_per_sec\": %.0f\n", stream_mps);
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());

@@ -13,8 +13,10 @@
 #define COSMOS_BENCH_BENCH_UTIL_HH
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cosmos::bench
@@ -61,6 +63,46 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/** Monotonic seconds since @p start (all bench timing runs on
+ *  steady_clock; wall clocks jump under NTP). */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One timed measurement: repetitions and their summed seconds. */
+struct TimedResult
+{
+    int reps = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Repeat @p body until its timed portions sum past @p min_seconds,
+ * after @p warmup untimed iterations (first-touch page faults, cold
+ * i-cache, and allocator growth land in the warmup, not the
+ * measurement). @p body runs one full repetition and returns the
+ * seconds of its *timed region* -- so setup a repetition needs
+ * (bank construction, table reservation) can stay untimed inside
+ * the body.
+ */
+template <class Body>
+TimedResult
+runTimed(Body &&body, double min_seconds, int warmup = 1)
+{
+    for (int i = 0; i < warmup; ++i)
+        (void)body();
+    TimedResult r;
+    while (r.seconds < min_seconds) {
+        r.seconds += body();
+        ++r.reps;
+    }
+    return r;
 }
 
 } // namespace cosmos::bench

@@ -30,6 +30,7 @@ for b in build/bench/bench_*; do
         bench_predictor_throughput)
             # Smoke only; the tracked run happens in Release below.
             "$b" --min-seconds 0.05 \
+                 --stream-messages 500000 --stream-blocks 65536 \
                  --out build/BENCH_predictor_throughput.json > /dev/null ;;
         bench_forge)
             "$b" --out build/BENCH_forge.json > /dev/null ;;
@@ -158,9 +159,13 @@ echo "== forge smoke OK (round-trip, malformed line rejected," \
      "report valid, structured fuzz clean)"
 
 # Release-mode perf smoke (-O2 -DNDEBUG): the golden-gated throughput
-# bench replays the full Table 5/6 grid, fails the build on any
-# accuracy drift from tests/fixtures/golden_accuracy.hh, and publishes
-# its JSON so successive runs can be compared.
+# bench replays the full Table 5/6 grid through both the batched and
+# the 4-shard pipelines, fails the build on any accuracy drift from
+# tests/fixtures/golden_accuracy.hh, and publishes its JSON so
+# successive runs can be compared. The batched serial dsmc cell must
+# also clear a generous absolute throughput floor (override with
+# COSMOS_PERF_FLOOR_MPS; 0 disables) -- a regression that halves the
+# batched path shows up here even when the goldens stay green.
 # shellcheck disable=SC2046
 cmake -B build-release $(gen_for build-release) \
     -DCMAKE_BUILD_TYPE=Release
@@ -170,7 +175,21 @@ start=$(now_ms)
 ./build-release/bench/bench_predictor_throughput \
     --out artifacts/BENCH_predictor_throughput.json
 echo "== release perf smoke ($(($(now_ms) - start)) ms)"
-python3 scripts/check_json.py artifacts/BENCH_predictor_throughput.json
+python3 scripts/check_json.py --schema bench \
+    artifacts/BENCH_predictor_throughput.json
+python3 - artifacts/BENCH_predictor_throughput.json <<'EOF'
+import json, os, sys
+doc = json.load(open(sys.argv[1]))
+floor = float(os.environ.get("COSMOS_PERF_FLOOR_MPS", "18000000"))
+mps = min(c["messages_per_sec"]
+          for c in doc["serial_dsmc"]["cells"]
+          if c["mode"] == "batched" and c["depth"] == 1)
+if floor > 0 and mps < floor:
+    sys.exit(f"perf floor: batched dsmc depth-1 ran at {mps:.0f} "
+             f"msg/s, below the {floor:.0f} floor")
+print(f"perf floor OK: batched dsmc depth-1 at {mps / 1e6:.1f} "
+      f"M msg/s (floor {floor / 1e6:.1f} M)")
+EOF
 echo "== artifact: artifacts/BENCH_predictor_throughput.json"
 
 # ThreadSanitizer pass over the parallel replay engine: the

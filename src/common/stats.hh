@@ -25,9 +25,11 @@ struct HitRatio
     void
     record(bool hit)
     {
+        // Branch-free: hit outcomes are data-dependent coin flips on
+        // the replay hot path, and a mispredict costs more than the
+        // add it would skip.
         ++total;
-        if (hit)
-            ++hits;
+        hits += hit;
     }
 
     /** Merge another ratio into this one. */

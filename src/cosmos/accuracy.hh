@@ -38,13 +38,12 @@ class AccuracyTracker
     record(proto::Role role, std::int32_t iteration, bool hit,
            bool had_prediction = true)
     {
-        if (!had_prediction)
-            ++coldMisses_;
+        // Role and hit are data-dependent per record; select the
+        // ratio by address and count by addition so the hot path
+        // carries no unpredictable branches.
+        coldMisses_ += !had_prediction;
         overall_.record(hit);
-        if (role == proto::Role::cache)
-            cache_.record(hit);
-        else
-            directory_.record(hit);
+        (role == proto::Role::cache ? cache_ : directory_).record(hit);
         if (iteration < 0)
             iteration = 0;
         if (byIteration_.size() <= static_cast<std::size_t>(iteration))

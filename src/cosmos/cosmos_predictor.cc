@@ -34,8 +34,10 @@ CosmosPredictor::footprint() const
 {
     CosmosFootprint f;
     f.mhrEntries = blocks_.size();
-    blocks_.forEach([&f](Addr, const BlockState &st) {
-        f.phtEntries += st.pht.size();
+    blocks_.forEach([&f](Addr, const auto &st) {
+        f.phtEntries += st->pht.size();
+        if (st->icount != BlockState::spilled)
+            f.phtEntries += st->icount;
     });
     return f;
 }
@@ -54,8 +56,9 @@ CosmosPredictor::tableStats() const
 std::vector<MsgTuple>
 CosmosPredictor::history(Addr block) const
 {
-    const BlockState *st = blocks_.find(block);
-    return st == nullptr ? std::vector<MsgTuple>{} : st->mhr.decode();
+    BlockState *const *node = blocks_.find(block);
+    return node == nullptr ? std::vector<MsgTuple>{}
+                           : (*node)->mhr.decode();
 }
 
 } // namespace cosmos::pred

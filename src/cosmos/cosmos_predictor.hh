@@ -83,7 +83,71 @@ class CosmosPredictor : public MessagePredictor
     std::optional<MsgTuple> predict(Addr block) const override;
     ObserveResult observe(Addr block, MsgTuple actual) override;
 
+    /**
+     * The observe core on the two-byte tuple encoding. The batched
+     * apply pass stages encoded tuples and calls this directly, so a
+     * replayed record never round-trips through MsgTuple at all;
+     * observe() is a thin encode-and-forward wrapper, which is what
+     * keeps the two paths bit-identical by construction.
+     */
+    ObserveResult observeEncoded(Addr block, std::uint16_t enc);
+
+    /**
+     * Opaque handle to a block's predictor state, produced by
+     * probeBlock() or obtainRef(). The block table stores pointers to
+     * arena-allocated nodes, so a ref stays valid for the predictor's
+     * whole lifetime no matter what is inserted after it -- the
+     * batched apply pass caches refs across an entire replay run.
+     */
+    using BlockRef = void *;
+
+    /**
+     * Probe the block table for @p block without changing any state.
+     * Returns nullptr when the block has never been seen. As a side
+     * effect, prefetches the PHT slots the block's *current* pattern
+     * would probe -- the batched pipeline runs a probe pass over a
+     * whole batch first, so by the time the apply pass runs, both
+     * levels of the lookup are already in cache.
+     */
+    BlockRef probeBlock(Addr block);
+
+    /**
+     * The block-table half of observeEncoded(): find-or-create the
+     * state node for @p block and return its ref. The batched apply
+     * pass calls this once per same-block run, then feeds the whole
+     * run through observeRef().
+     */
+    BlockRef obtainRef(Addr block);
+
+    /**
+     * The update half of observeEncoded(): apply one encoded tuple to
+     * an already-resolved block. @p ref must be a non-null ref for
+     * the right block (probeBlock()/obtainRef()). Bit-identical to
+     * observeEncoded by construction -- same core on the same
+     * BlockState.
+     */
+    ObserveResult observeRef(BlockRef ref, std::uint16_t enc);
+
     const CosmosConfig &config() const { return cfg_; }
+
+    /**
+     * Prefetch the block-table slots observe(@p block, ...) will
+     * probe first. Pure hint for the batched replay path; issues no
+     * loads that change state.
+     */
+    void prefetchBlock(Addr block) const
+    {
+        blocks_.prefetchFind(block);
+    }
+
+    /**
+     * Pre-size the block table for @p expected distinct blocks (a
+     * trace-census figure), so replay never rehashes mid-stream.
+     */
+    void reserveBlocks(std::size_t expected)
+    {
+        blocks_.reserve(expected);
+    }
 
     /** Memory accounting across all blocks this instance has seen. */
     CosmosFootprint footprint() const;
@@ -101,8 +165,13 @@ class CosmosPredictor : public MessagePredictor
     forEachProbeLength(F &&f) const
     {
         blocks_.forEachProbeLength(f);
-        blocks_.forEach([&](Addr, const BlockState &st) {
-            st.pht.forEachProbeLength(f);
+        blocks_.forEach([&](Addr, const auto &st) {
+            // Inline patterns cost exactly the block probe already
+            // paid; report them as probe length 1.
+            if (st->icount != BlockState::spilled)
+                for (unsigned k = 0; k < st->icount; ++k)
+                    f(1u);
+            st->pht.forEachProbeLength(f);
         });
     }
 
@@ -112,20 +181,46 @@ class CosmosPredictor : public MessagePredictor
   private:
     struct PhtEntry
     {
-        MsgTuple prediction{};
+        /** MsgTuple::encode() of the stored prediction: one 16-bit
+         *  compare against the (equally encoded) actual arrival. */
+        std::uint16_t prediction = 0;
         std::uint8_t counter = 0; ///< consecutive mispredictions
     };
+
+    /** Patterns kept inline in BlockState before spilling to the
+     *  per-block FlatMap. Most blocks never exceed this, so the
+     *  common-case second-level lookup reads the block's own slot
+     *  (already in cache from the first-level probe) instead of
+     *  chasing a dependent pointer into the arena. */
+    static constexpr unsigned inline_pht_slots = 4;
 
     struct BlockState
     {
         explicit BlockState(Arena *arena) : pht(arena) {}
 
+        /** icount value meaning "spilled to the FlatMap". */
+        static constexpr std::uint8_t spilled = 0xff;
+
         /** MHR packed at 16 bits/tuple; its word is the PHT key. */
         PackedMhr mhr;
-        FlatMap<std::uint64_t, PhtEntry> pht;
         /** Last message type received for this block (arc stats). */
         proto::MsgType lastType{};
         bool hasLastType = false;
+        /** Live inline patterns, or `spilled`. Stays 0 under a
+         *  hardware budget (the FIFO needs FlatMap semantics). */
+        std::uint8_t icount = 0;
+        /**
+         * Inline PHT: keys and entries, insertion order. Empty key
+         * slots hold ~0, which no real pattern can produce (its low
+         * lane would decode to message type 15, past num_msg_types),
+         * so lookups compare all slots branch-free instead of
+         * looping to a data-dependent icount.
+         */
+        std::uint64_t ikeys[inline_pht_slots] = {~0ull, ~0ull, ~0ull,
+                                                 ~0ull};
+        PhtEntry ivals[inline_pht_slots];
+        /** Overflow PHT, used once inline slots are exhausted. */
+        FlatMap<std::uint64_t, PhtEntry> pht;
         /** FIFO ring of the live PHT keys in insertion order; only
          *  allocated (from the arena) with a capacity bound. */
         std::uint64_t *fifo = nullptr;
@@ -137,11 +232,38 @@ class CosmosPredictor : public MessagePredictor
      *  FIFO ring once the per-block hardware budget is reached. */
     void evictForBudget(BlockState &st, std::uint64_t key);
 
+    /** The block's state node, created in the arena on first touch.
+     *  Nodes are *stable*: the block table stores pointers, so
+     *  growth/displacement there never moves a node -- which is what
+     *  lets the batched probe pass hand out BlockRefs that stay
+     *  valid across an entire replay. */
+    BlockState &obtainBlock(Addr block);
+
+    /** The observe state machine on one block's state (all observe
+     *  entry points funnel here, which is the bit-identity argument
+     *  for the batched pipeline). */
+    ObserveResult applyCore(BlockState &st, std::uint16_t enc);
+
+    /** Second-level lookup: inline slots first, FlatMap if spilled
+     *  (or always, under a hardware budget -- the FIFO needs FlatMap
+     *  erase semantics). */
+    const PhtEntry *findPattern(const BlockState &st,
+                                std::uint64_t key) const;
+
     CosmosConfig cfg_;
-    /** Backs every FlatMap slot array and FIFO ring below; declared
-     *  first so it outlives the tables during destruction. */
+    /** Backs every FlatMap slot array, BlockState node, and FIFO
+     *  ring below; declared first so it outlives the tables during
+     *  destruction. */
     Arena arena_;
-    FlatMap<Addr, BlockState> blocks_{&arena_};
+    /**
+     * Block table: 16-byte (Addr, node pointer) slots. Keeping the
+     * fat BlockState out of the slot array means the probe arrays
+     * stay cache-resident even with hundreds of thousands of
+     * mostly-cold blocks, and node pointers survive table growth.
+     * Nodes are placement-new'd in the arena and never individually
+     * destroyed (everything they own is arena-backed too).
+     */
+    FlatMap<Addr, BlockState *> blocks_{&arena_};
 };
 
 // observe() and predict() are defined inline: PredictorBank's replay
@@ -151,58 +273,160 @@ class CosmosPredictor : public MessagePredictor
 inline std::optional<MsgTuple>
 CosmosPredictor::predict(Addr block) const
 {
-    const BlockState *st = blocks_.find(block);
-    if (st == nullptr || !st->mhr.full(cfg_.depth))
+    BlockState *const *node = blocks_.find(block);
+    if (node == nullptr)
         return std::nullopt;
-    const PhtEntry *e = st->pht.find(st->mhr.key());
+    const BlockState *st = *node;
+    if (!st->mhr.full(cfg_.depth))
+        return std::nullopt;
+    const PhtEntry *e = findPattern(*st, st->mhr.key());
     if (e == nullptr)
         return std::nullopt;
-    return e->prediction;
+    return MsgTuple::decode(e->prediction);
+}
+
+inline CosmosPredictor::BlockState &
+CosmosPredictor::obtainBlock(Addr block)
+{
+    BlockState *&node = blocks_.obtain(block, nullptr);
+    if (node == nullptr)
+        node = new (arena_.allocate(sizeof(BlockState),
+                                    alignof(BlockState)))
+            BlockState(&arena_);
+    return *node;
+}
+
+inline const CosmosPredictor::PhtEntry *
+CosmosPredictor::findPattern(const BlockState &st,
+                             std::uint64_t key) const
+{
+    if (cfg_.maxPhtPerBlock == 0 && st.icount != BlockState::spilled) {
+        unsigned hit = inline_pht_slots;
+        for (unsigned k = 0; k < inline_pht_slots; ++k)
+            hit = st.ikeys[k] == key ? k : hit;
+        return hit < inline_pht_slots ? &st.ivals[hit] : nullptr;
+    }
+    return st.pht.find(key);
 }
 
 inline ObserveResult
-CosmosPredictor::observe(Addr block, MsgTuple actual)
+CosmosPredictor::applyCore(BlockState &st, std::uint16_t enc)
 {
-    BlockState &st = blocks_.obtain(block, &arena_);
     ObserveResult res;
 
     if (st.mhr.full(cfg_.depth)) {
         // A lookup is possible: this arrival counts as a reference.
         res.counted = true;
         const std::uint64_t key = st.mhr.key();
-        if (PhtEntry *e = st.pht.find(key)) {
+        const bool inl = cfg_.maxPhtPerBlock == 0 &&
+                         st.icount != BlockState::spilled;
+        PhtEntry *e = nullptr;
+        if (inl) {
+            // All slots compared unconditionally: empty slots hold a
+            // sentinel no pattern matches, so this compiles to four
+            // compares and selects -- no data-dependent loop exit.
+            unsigned hit = inline_pht_slots;
+            for (unsigned k = 0; k < inline_pht_slots; ++k)
+                hit = st.ikeys[k] == key ? k : hit;
+            if (hit < inline_pht_slots)
+                e = &st.ivals[hit];
+        } else {
+            e = st.pht.find(key);
+        }
+        if (e != nullptr) {
             res.hadPrediction = true;
-            res.predicted = e->prediction;
-            res.hit = (e->prediction == actual);
-            if (res.hit) {
-                e->counter = 0;
-            } else if (e->counter >= cfg_.filterMax) {
-                // Filter exhausted: adopt the new tuple (§3.6).
-                e->prediction = actual;
-                e->counter = 0;
+            res.predicted = MsgTuple::decode(e->prediction);
+            const bool hit = (e->prediction == enc);
+            res.hit = hit;
+            // Branch-free update (hit is a data-dependent coin flip):
+            // on a hit the counter clears; on a miss the saturating
+            // filter either adopts the new tuple (§3.6) or ticks.
+            const bool adopt = !hit && e->counter >= cfg_.filterMax;
+            e->prediction = adopt ? enc : e->prediction;
+            e->counter = (hit || adopt)
+                             ? 0
+                             : static_cast<std::uint8_t>(e->counter + 1);
+        } else if (inl) {
+            // First time this pattern is seen: learn it inline, or
+            // spill the block's patterns to the FlatMap once the
+            // inline slots are exhausted. Spilling preserves set
+            // semantics, so every counter is unaffected by *where*
+            // a pattern lives.
+            if (st.icount < inline_pht_slots) {
+                st.ikeys[st.icount] = key;
+                st.ivals[st.icount] = PhtEntry{enc, 0};
+                ++st.icount;
             } else {
-                ++e->counter;
+                for (unsigned k = 0; k < inline_pht_slots; ++k)
+                    st.pht.insert(st.ikeys[k], st.ivals[k]);
+                st.icount = BlockState::spilled;
+                st.pht.insert(key, PhtEntry{enc, 0});
             }
         } else {
             // First time this pattern is seen: learn it, evicting
             // the oldest pattern if the hardware budget is full.
             if (cfg_.maxPhtPerBlock > 0)
                 evictForBudget(st, key);
-            st.pht.insert(key, PhtEntry{actual, 0});
+            st.pht.insert(key, PhtEntry{enc, 0});
         }
     }
 
     // Left-shift the actual tuple into the MHR (§3.4).
-    st.mhr.push(actual, cfg_.depth);
+    st.mhr.pushEncoded(enc, cfg_.depth);
 
     // Hand the previous message type back for arc statistics, saving
     // the caller a separate per-block table.
     res.hadPrevType = st.hasLastType;
     res.prevType = st.lastType;
-    st.lastType = actual.type;
+    st.lastType = static_cast<proto::MsgType>(enc & 0xf);
     st.hasLastType = true;
 
     return res;
+}
+
+inline ObserveResult
+CosmosPredictor::observeEncoded(Addr block, std::uint16_t enc)
+{
+    return applyCore(obtainBlock(block), enc);
+}
+
+inline CosmosPredictor::BlockRef
+CosmosPredictor::probeBlock(Addr block)
+{
+    BlockState *const *node = blocks_.find(block);
+    if (node == nullptr)
+        return nullptr;
+    BlockState *st = *node;
+    // Walk the whole lookup chain here -- node, then (for a block
+    // whose patterns live in the overflow FlatMap) the PHT slots its
+    // current pattern indexes. Each element's chain is independent,
+    // so the probe pass overlaps their latencies; the apply pass then
+    // runs the same chain against warm lines. The second node line
+    // holds the inline-PHT tail and the overflow-map header.
+    __builtin_prefetch(reinterpret_cast<const char *>(st) + 64, 1, 3);
+    if (st->mhr.full(cfg_.depth) &&
+        (st->icount == BlockState::spilled ||
+         cfg_.maxPhtPerBlock != 0))
+        st->pht.prefetchFind(st->mhr.key());
+    return st;
+}
+
+inline CosmosPredictor::BlockRef
+CosmosPredictor::obtainRef(Addr block)
+{
+    return &obtainBlock(block);
+}
+
+inline ObserveResult
+CosmosPredictor::observeRef(BlockRef ref, std::uint16_t enc)
+{
+    return applyCore(*static_cast<BlockState *>(ref), enc);
+}
+
+inline ObserveResult
+CosmosPredictor::observe(Addr block, MsgTuple actual)
+{
+    return observeEncoded(block, actual.encode());
 }
 
 } // namespace cosmos::pred

@@ -1,9 +1,29 @@
 #include "cosmos/predictor_bank.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace cosmos::pred
 {
+
+namespace
+{
+
+/**
+ * Block-grouping hash for the counting-sort key: a multiplicative mix
+ * whose top bits drive the bucket index, masked to the clamped group
+ * width. Collisions are harmless -- two blocks in one bucket merely
+ * interleave, each block's own record order is untouched.
+ */
+inline std::uint32_t
+blockGroupHash(Addr block)
+{
+    return static_cast<std::uint32_t>(
+        (block * 0x9E3779B97F4A7C15ull) >> 47);
+}
+
+} // namespace
 
 PredictorBank::PredictorBank(NodeId num_nodes, const CosmosConfig &cfg)
     : numNodes_(num_nodes), cosmosDepth_(cfg.depth)
@@ -119,6 +139,217 @@ PredictorBank::replay(
             continue;
         observe(*r);
     }
+}
+
+void
+PredictorBank::applySlice(CosmosPredictor &p, bool dir_side,
+                          const Addr *blocks,
+                          const std::uint16_t *tuples,
+                          const std::int32_t *iters, std::size_t n,
+                          const BatchConfig &bc)
+{
+    const proto::Role role =
+        dir_side ? proto::Role::directory : proto::Role::cache;
+    ArcStats &arcs = dir_side ? dirArcs_ : cacheArcs_;
+    const std::size_t depth = bc.depth > 0 ? bc.depth : 1;
+    const unsigned dist = bc.prefetchDistance;
+    refs_.resize(std::min(n, depth));
+
+    // Run memoization state. Block grouping placed each block's
+    // records back-to-back, so the node resolved at the head of a
+    // same-block run serves the whole run; runs may span sub-batch
+    // boundaries, so the state lives outside the batch loop.
+    bool have_run = false;
+    Addr run_block = 0;
+    CosmosPredictor::BlockRef run_ref = nullptr;
+
+    for (std::size_t b = 0; b < n; b += depth) {
+        const std::size_t sub = std::min(depth, n - b);
+        // Probe pass: resolve each run head's block node (slot
+        // prefetch running a fixed distance ahead) and let
+        // probeBlock() warm the node and PHT lines. The run heads'
+        // chains are independent, so their misses overlap -- the
+        // scalar path serializes the same loads behind each
+        // element's update. Within a run the head's ref is simply
+        // propagated.
+        for (std::size_t j = 0; j < sub; ++j) {
+            const Addr blk = blocks[b + j];
+            if (dist > 0 && j + dist < sub &&
+                blocks[b + j + dist] != blocks[b + j + dist - 1])
+                p.prefetchBlock(blocks[b + j + dist]);
+            refs_[j] = (j > 0 && blk == blocks[b + j - 1])
+                           ? refs_[j - 1]
+                           : p.probeBlock(blk);
+        }
+        // Apply pass: the scalar observes, in order, against warm
+        // lines. Nodes are stable (the block table stores pointers),
+        // so refs survive any insertions this pass performs. A run
+        // of a never-seen block probes null; its head obtains the
+        // node once and the memoized ref covers the rest.
+        for (std::size_t j = 0; j < sub; ++j) {
+            const Addr blk = blocks[b + j];
+            if (!have_run || blk != run_block) {
+                have_run = true;
+                run_block = blk;
+                run_ref = refs_[j] != nullptr ? refs_[j]
+                                              : p.obtainRef(blk);
+            }
+            const ObserveResult res = p.CosmosPredictor::observeRef(
+                run_ref, tuples[b + j]);
+            if (res.counted) {
+                accuracy_.record(role, iters[b + j], res.hit,
+                                 res.hadPrediction);
+                if (res.hadPrevType)
+                    arcs.record(res.prevType,
+                                static_cast<proto::MsgType>(
+                                    tuples[b + j] & 0xf),
+                                res.hit);
+            }
+        }
+    }
+}
+
+void
+PredictorBank::applyStaged(const SoaBatch &batch, const BatchConfig &bc)
+{
+    cosmos_assert(cosmosDepth_ != 0,
+                  "applyStaged requires a Cosmos bank");
+    const std::size_t n = batch.size();
+    const std::uint16_t *modules = batch.modules.data();
+    const unsigned nmod = 2u * numNodes_;
+
+    // Stable counting sort by (module, block-hash). Each module's
+    // slice replays consecutively so one predictor's tables stay
+    // cache-hot, and inside a slice each block's records sit
+    // back-to-back so the apply pass resolves the block node once per
+    // run. Per-(module, block) record order -- the only order any
+    // counter depends on -- is untouched, so the result is
+    // bit-identical to trace-order replay. The group width is
+    // clamped so the bucket array resets cheaply per window even for
+    // very wide machines.
+    unsigned g = bc.groupBits;
+    while (g > 0 && (static_cast<std::size_t>(nmod) << g) > (1u << 17))
+        --g;
+    const std::size_t nbuckets = static_cast<std::size_t>(nmod) << g;
+    const std::uint32_t gmask = (1u << g) - 1u;
+    keys_.resize(n);
+    cnt_.assign(nbuckets + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t key =
+            (static_cast<std::uint32_t>(modules[i]) << g) |
+            (blockGroupHash(batch.blocks[i]) & gmask);
+        keys_[i] = key;
+        ++cnt_[key + 1];
+    }
+    for (std::size_t b = 0; b < nbuckets; ++b)
+        cnt_[b + 1] += cnt_[b];
+    sorted_.ensure(n);
+    pos_.assign(cnt_.begin(), cnt_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t d = pos_[keys_[i]]++;
+        sorted_.blocks[d] = batch.blocks[i];
+        sorted_.tuples[d] = batch.tuples[i];
+        sorted_.iterations[d] = batch.iterations[i];
+    }
+
+    for (unsigned m = 0; m < nmod; ++m) {
+        const std::uint32_t begin = cnt_[static_cast<std::size_t>(m)
+                                         << g];
+        const std::uint32_t end =
+            cnt_[static_cast<std::size_t>(m + 1) << g];
+        if (begin == end)
+            continue;
+        applySlice(static_cast<CosmosPredictor &>(*predictors_[m]),
+                   (m & 1u) != 0, sorted_.blocks.data() + begin,
+                   sorted_.tuples.data() + begin,
+                   sorted_.iterations.data() + begin, end - begin, bc);
+    }
+}
+
+void
+PredictorBank::observeChunk(const trace::TraceRecord *recs,
+                            std::size_t n, std::int32_t max_iteration,
+                            const BatchConfig &bc)
+{
+    if (cosmosDepth_ == 0) {
+        // Heterogeneous banks pay a virtual call per observe anyway;
+        // the scalar loop is the whole story for them.
+        for (std::size_t i = 0; i < n; ++i)
+            if (recs[i].iteration <= max_iteration)
+                observe(recs[i]);
+        return;
+    }
+    const std::size_t window = bc.window > 0 ? bc.window : 1;
+    stage_.ensure(std::min(n, window));
+    for (std::size_t i = 0; i < n;) {
+        stage_.clear();
+        const std::size_t end = std::min(n, i + window);
+        for (; i < end; ++i) {
+            const trace::TraceRecord &r = recs[i];
+            if (r.iteration > max_iteration)
+                continue;
+            cosmos_assert(r.receiver < numNodes_, "bad node ",
+                          r.receiver);
+            stage_.push(r);
+        }
+        applyStaged(stage_, bc);
+    }
+}
+
+void
+PredictorBank::replayBatched(const trace::Trace &t,
+                             std::int32_t max_iteration,
+                             const BatchConfig &bc)
+{
+    observeChunk(t.records.data(), t.records.size(), max_iteration,
+                 bc);
+}
+
+void
+PredictorBank::replayBatched(
+    const std::vector<const trace::TraceRecord *> &records,
+    std::int32_t max_iteration, const BatchConfig &bc)
+{
+    if (cosmosDepth_ == 0) {
+        replay(records, max_iteration);
+        return;
+    }
+    const std::size_t window = bc.window > 0 ? bc.window : 1;
+    const std::size_t n = records.size();
+    stage_.ensure(std::min(n, window));
+    for (std::size_t i = 0; i < n;) {
+        stage_.clear();
+        const std::size_t end = std::min(n, i + window);
+        for (; i < end; ++i) {
+            const trace::TraceRecord &r = *records[i];
+            if (r.iteration > max_iteration)
+                continue;
+            cosmos_assert(r.receiver < numNodes_, "bad node ",
+                          r.receiver);
+            stage_.push(r);
+        }
+        applyStaged(stage_, bc);
+    }
+}
+
+void
+PredictorBank::reserveFromCensus(
+    const std::vector<std::uint32_t> &census)
+{
+    const std::size_t m =
+        std::min(census.size(), predictors_.size());
+    if (cosmosDepth_ != 0) {
+        for (std::size_t i = 0; i < m; ++i)
+            static_cast<CosmosPredictor &>(*predictors_[i])
+                .reserveBlocks(census[i]);
+        return;
+    }
+    // Heterogeneous predictors manage their own tables; the bank can
+    // still pre-size its shared last-type table.
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < m; ++i)
+        total += census[i];
+    lastType_.reserve(total);
 }
 
 const ArcStats &

@@ -25,6 +25,7 @@
 #include "obs/metrics.hh"
 #include "cosmos/accuracy.hh"
 #include "cosmos/arc_stats.hh"
+#include "cosmos/batch.hh"
 #include "cosmos/cosmos_predictor.hh"
 #include "cosmos/memory_stats.hh"
 #include "cosmos/predictor.hh"
@@ -66,6 +67,47 @@ class PredictorBank
     void replay(const std::vector<const trace::TraceRecord *> &records,
                 std::int32_t max_iteration = INT32_MAX);
 
+    /**
+     * Batched replay: stage-then-apply over fixed-size batches (see
+     * cosmos/batch.hh). Bit-identical counters to the scalar replay
+     * overloads above -- the batch pipeline changes only when memory
+     * is touched, never what is computed. Non-Cosmos banks fall back
+     * to the scalar loop (their virtual observe dominates anyway).
+     */
+    void replayBatched(const trace::Trace &t,
+                       std::int32_t max_iteration = INT32_MAX,
+                       const BatchConfig &bc = {});
+    void replayBatched(
+        const std::vector<const trace::TraceRecord *> &records,
+        std::int32_t max_iteration = INT32_MAX,
+        const BatchConfig &bc = {});
+
+    /**
+     * Feed one contiguous chunk of records through the batched path
+     * (the streaming replay entry; chunks arrive in stream order and
+     * the pointer only needs to live for the call).
+     */
+    void observeChunk(const trace::TraceRecord *recs, std::size_t n,
+                      std::int32_t max_iteration = INT32_MAX,
+                      const BatchConfig &bc = {});
+
+    /**
+     * Apply one staged batch module-major (routing layers stage
+     * records into SoA form themselves; see sharded_bank.hh). The
+     * batch is stably partitioned by destination module and each
+     * module's slice runs the probe/apply pipeline consecutively.
+     * Cosmos banks only.
+     */
+    void applyStaged(const SoaBatch &batch, const BatchConfig &bc);
+
+    /**
+     * Pre-size every predictor's block table from a
+     * trace::moduleBlockCensus() vector (index 2*node + role), so a
+     * subsequent replay performs no block-table rehash at all. A
+     * shorter census vector reserves only the modules it covers.
+     */
+    void reserveFromCensus(const std::vector<std::uint32_t> &census);
+
     const AccuracyTracker &accuracy() const { return accuracy_; }
     const ArcStats &arcs(proto::Role role) const;
 
@@ -96,6 +138,18 @@ class PredictorBank
   private:
     std::size_t index(NodeId n, proto::Role role) const;
 
+    /**
+     * Two-pass probe/apply pipeline over one module's slice of a
+     * module-major window: sub-batches of BatchConfig::depth are
+     * probed (with slot prefetch BatchConfig::prefetchDistance
+     * elements ahead) and then applied in order against one hoisted
+     * predictor.
+     */
+    void applySlice(CosmosPredictor &p, bool dir_side,
+                    const Addr *blocks, const std::uint16_t *tuples,
+                    const std::int32_t *iters, std::size_t n,
+                    const BatchConfig &bc);
+
     NodeId numNodes_;
     unsigned cosmosDepth_ = 0; ///< nonzero iff a Cosmos bank
     std::vector<std::unique_ptr<MessagePredictor>> predictors_;
@@ -105,6 +159,19 @@ class PredictorBank
     /// last incoming message type per (node, role, block), feeding
     /// the arc statistics.
     FlatMap<std::uint64_t, proto::MsgType> lastType_;
+    /// reused SoA staging buffer of the batched replay paths; bounds
+    /// batched-replay scratch at BatchConfig::window elements.
+    SoaBatch stage_;
+    /// module-major reorder target: stage_ stably partitioned by
+    /// (module, block-hash) bucket (modules array unused -- the
+    /// partition bounds carry that information).
+    SoaBatch sorted_;
+    /// counting-sort scratch: per-element bucket keys, bucket
+    /// boundaries, and scatter cursors.
+    std::vector<std::uint32_t> keys_, cnt_, pos_;
+    /// probe-pass scratch of applySlice: per-element block refs
+    /// (stable node pointers; null for never-seen blocks).
+    std::vector<void *> refs_;
 };
 
 } // namespace cosmos::pred

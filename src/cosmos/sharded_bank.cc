@@ -1,0 +1,111 @@
+#include "cosmos/sharded_bank.hh"
+
+#include "common/addr.hh"
+#include "common/log.hh"
+
+namespace cosmos::pred
+{
+
+ShardedPredictorBank::ShardedPredictorBank(NodeId num_nodes,
+                                           const CosmosConfig &cfg,
+                                           unsigned shards)
+    : numNodes_(num_nodes)
+{
+    cosmos_assert(shards > 0, "shard count must be positive");
+    banks_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        banks_.push_back(
+            std::make_unique<PredictorBank>(num_nodes, cfg));
+    staged_.resize(shards);
+    applied_.assign(shards, 0);
+}
+
+void
+ShardedPredictorBank::stageChunk(const trace::TraceRecord *recs,
+                                 std::size_t n)
+{
+    const unsigned k = shards();
+    for (auto &buf : staged_)
+        buf.clear();
+    if (k == 1) {
+        staged_[0].assign(recs, recs + n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        staged_[blockShardOf(recs[i].block, k)].push_back(recs[i]);
+}
+
+void
+ShardedPredictorBank::applyShard(unsigned s,
+                                 std::int32_t max_iteration,
+                                 const BatchConfig &bc)
+{
+    cosmos_assert(s < shards(), "shard index out of range");
+    const auto &buf = staged_[s];
+    banks_[s]->observeChunk(buf.data(), buf.size(), max_iteration,
+                            bc);
+    applied_[s] += buf.size();
+}
+
+void
+ShardedPredictorBank::observeChunk(const trace::TraceRecord *recs,
+                                   std::size_t n,
+                                   std::int32_t max_iteration,
+                                   const BatchConfig &bc)
+{
+    stageChunk(recs, n);
+    for (unsigned s = 0; s < shards(); ++s)
+        applyShard(s, max_iteration, bc);
+}
+
+void
+ShardedPredictorBank::reserveFromCensus(
+    const std::vector<std::uint32_t> &census)
+{
+    const unsigned k = shards();
+    std::vector<std::uint32_t> per_shard(census.size());
+    for (std::size_t m = 0; m < census.size(); ++m)
+        per_shard[m] = (census[m] + k - 1) / k;
+    for (auto &bank : banks_)
+        bank->reserveFromCensus(per_shard);
+}
+
+AccuracyTracker
+ShardedPredictorBank::accuracy() const
+{
+    AccuracyTracker merged = banks_[0]->accuracy();
+    for (std::size_t s = 1; s < banks_.size(); ++s)
+        merged.merge(banks_[s]->accuracy());
+    return merged;
+}
+
+ArcStats
+ShardedPredictorBank::arcs(proto::Role role) const
+{
+    ArcStats merged = banks_[0]->arcs(role);
+    for (std::size_t s = 1; s < banks_.size(); ++s)
+        merged.merge(banks_[s]->arcs(role));
+    return merged;
+}
+
+MemoryStats
+ShardedPredictorBank::memoryStats() const
+{
+    MemoryStats merged = banks_[0]->memoryStats();
+    for (std::size_t s = 1; s < banks_.size(); ++s)
+        merged.merge(banks_[s]->memoryStats());
+    return merged;
+}
+
+void
+ShardedPredictorBank::publishMetrics(obs::Registry &reg,
+                                     const std::string &prefix) const
+{
+    for (unsigned s = 0; s < shards(); ++s) {
+        const std::string sp = prefix + ".shard" + std::to_string(s);
+        reg.counter(sp + ".records_applied").add(applied_[s]);
+        banks_[s]->publishMetrics(reg, sp);
+    }
+}
+
+} // namespace cosmos::pred

@@ -97,7 +97,14 @@ class PackedMhr
     void
     push(MsgTuple t, unsigned depth)
     {
-        bits_ = ((bits_ << 16) | t.encode()) & laneMask(depth);
+        pushEncoded(t.encode(), depth);
+    }
+
+    /** push() on an already-encoded tuple (the batched hot path). */
+    void
+    pushEncoded(std::uint16_t enc, unsigned depth)
+    {
+        bits_ = ((bits_ << 16) | enc) & laneMask(depth);
         if (count_ < depth)
             ++count_;
     }

@@ -1,0 +1,166 @@
+#include "forge/msg_stream.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "proto/messages.hh"
+
+namespace cosmos::forge
+{
+
+namespace
+{
+/// Accesses pulled from the source per refill. Fixed so the lowered
+/// record sequence never depends on the consumer's chunk sizes.
+constexpr std::size_t access_chunk = 8192;
+} // namespace
+
+CoherenceMessageStream::CoherenceMessageStream(
+    TrafficSource &source, const MsgStreamConfig &cfg)
+    : source_(source), cfg_(cfg), name_(source.name() + "+dir")
+{
+    cosmos_assert(source.numProcs() <= 64,
+                  "sharer bitmask holds at most 64 processors, got ",
+                  source.numProcs());
+    cosmos_assert(cfg_.blockBytes > 0 && cfg_.pageBytes > 0,
+                  "blockBytes and pageBytes must be positive");
+}
+
+void
+CoherenceMessageStream::emit(proto::MsgType type, NodeId sender,
+                             NodeId receiver, std::int32_t iteration)
+{
+    // Intra-node traffic never crosses the network, so the machine
+    // would not have recorded it either.
+    if (sender == receiver)
+        return;
+    trace::TraceRecord r;
+    r.block = 0; // caller fills
+    r.when = tick_++;
+    r.receiver = receiver;
+    r.sender = sender;
+    r.type = type;
+    r.role = proto::receiverRole(type);
+    r.iteration = iteration;
+    pending_.push_back(r);
+}
+
+void
+CoherenceMessageStream::lower(const Access &a,
+                              std::int32_t iteration)
+{
+    const Addr block = a.addr / cfg_.blockBytes * cfg_.blockBytes;
+    const NodeId home = static_cast<NodeId>(
+        (a.addr / cfg_.pageBytes) % source_.numProcs());
+    DirState &st = dir_.obtain(block);
+    const NodeId p = a.proc;
+    const std::uint64_t pbit = std::uint64_t{1} << p;
+    const std::size_t before = pending_.size();
+
+    if (!a.write) {
+        // Read. A hit in any valid state is silent.
+        if (st.owner != p && (st.sharers & pbit) == 0) {
+            emit(proto::MsgType::get_ro_request, p, home, iteration);
+            if (st.owner != invalid_node) {
+                // Exclusive elsewhere: home downgrades the owner to
+                // shared before answering.
+                emit(proto::MsgType::downgrade_request, home,
+                     st.owner, iteration);
+                emit(proto::MsgType::downgrade_response, st.owner,
+                     home, iteration);
+                st.sharers |= std::uint64_t{1} << st.owner;
+                st.owner = invalid_node;
+            }
+            emit(proto::MsgType::get_ro_response, home, p,
+                 iteration);
+            st.sharers |= pbit;
+        }
+    } else if (st.owner != p) {
+        // Write without ownership: upgrade when already shared,
+        // full fetch otherwise; every other copy is invalidated.
+        const bool had_shared = (st.sharers & pbit) != 0;
+        emit(had_shared ? proto::MsgType::upgrade_request
+                        : proto::MsgType::get_rw_request,
+             p, home, iteration);
+        if (st.owner != invalid_node) {
+            emit(proto::MsgType::inval_rw_request, home, st.owner,
+                 iteration);
+            emit(proto::MsgType::inval_rw_response, st.owner, home,
+                 iteration);
+            st.owner = invalid_node;
+        }
+        for (NodeId s = 0; s < source_.numProcs(); ++s) {
+            if (s == p || (st.sharers & (std::uint64_t{1} << s)) == 0)
+                continue;
+            emit(proto::MsgType::inval_ro_request, home, s,
+                 iteration);
+            emit(proto::MsgType::inval_ro_response, s, home,
+                 iteration);
+        }
+        st.sharers = 0;
+        emit(had_shared ? proto::MsgType::upgrade_response
+                        : proto::MsgType::get_rw_response,
+             home, p, iteration);
+        st.owner = p;
+    }
+
+    for (std::size_t i = before; i < pending_.size(); ++i)
+        pending_[i].block = block;
+}
+
+bool
+CoherenceMessageStream::refill()
+{
+    pending_.clear();
+    cursor_ = 0;
+    while (pending_.empty() && !done_) {
+        if (source_.next(accessChunk_, access_chunk) == 0) {
+            done_ = true;
+            if (source_.failed())
+                cosmos_fatal("traffic source failed: ",
+                             source_.error());
+            break;
+        }
+        for (const Access &a : accessChunk_) {
+            const std::int32_t iter =
+                cfg_.accessesPerIteration == 0
+                    ? 0
+                    : static_cast<std::int32_t>(
+                          accesses_ / cfg_.accessesPerIteration);
+            lower(a, iter);
+            ++accesses_;
+            if (cfg_.maxRecords != 0 &&
+                emitted_ + pending_.size() >= cfg_.maxRecords) {
+                // Truncate to exactly maxRecords; the record cut is
+                // a pure function of the config, not of consumer
+                // chunking (the access chunk size is fixed).
+                pending_.resize(cfg_.maxRecords - emitted_);
+                done_ = true;
+                break;
+            }
+        }
+    }
+    return !pending_.empty();
+}
+
+std::size_t
+CoherenceMessageStream::next(std::vector<trace::TraceRecord> &out,
+                             std::size_t max)
+{
+    out.clear();
+    while (out.size() < max) {
+        if (cursor_ == pending_.size()) {
+            if (done_ || !refill())
+                break;
+        }
+        const std::size_t take =
+            std::min(max - out.size(), pending_.size() - cursor_);
+        out.insert(out.end(), pending_.begin() + cursor_,
+                   pending_.begin() + cursor_ + take);
+        cursor_ += take;
+        emitted_ += take;
+    }
+    return out.size();
+}
+
+} // namespace cosmos::forge

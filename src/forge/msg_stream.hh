@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lower a forge::TrafficSource access stream to coherence-message
+ * records without a simulated machine.
+ *
+ * harness::runTraffic produces ground-truth traces by driving every
+ * access through the full protocol machine -- faithful, but ~10k
+ * messages/s: useless for exercising the predictor throughput path
+ * with 100M+ message streams. CoherenceMessageStream instead applies
+ * a *designed* lowering: a timeless MSI write-invalidate directory
+ * emulation (per-block owner + sharer set, home directory at
+ * (addr / pageBytes) % numNodes, matching the kernels' round-robin
+ * page homes) that emits the paper's Table 1 message vocabulary
+ * directly. It reproduces the protocol's message *patterns* --
+ * migratory handoffs, producer-consumer invalidation fans, read-only
+ * quiescence -- not its timing, which the predictors never see
+ * anyway (Cosmos history is per-block message order, §3.1).
+ *
+ * The stream is a deterministic function of the source and this
+ * config: accesses are pulled in a fixed internal chunk size and
+ * lowered one access at a time, so the record sequence is
+ * byte-identical regardless of how the consumer chunks its next()
+ * calls -- the trace::RecordSource contract.
+ */
+
+#ifndef COSMOS_FORGE_MSG_STREAM_HH
+#define COSMOS_FORGE_MSG_STREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "forge/traffic_source.hh"
+#include "trace/record_source.hh"
+
+namespace cosmos::forge
+{
+
+/** How to lower accesses into messages. */
+struct MsgStreamConfig
+{
+    unsigned blockBytes = 64;
+    unsigned pageBytes = 4096;
+
+    /** Accesses per tagged iteration; 0 leaves every record in
+     *  iteration 0. Pass SynthSource::accessesPerRound() to make one
+     *  forge round one iteration. */
+    std::uint64_t accessesPerIteration = 0;
+
+    /** Stop after exactly this many records; 0 streams until the
+     *  source is exhausted (so an unbounded forge stream needs a
+     *  cap). */
+    std::uint64_t maxRecords = 0;
+};
+
+/** TrafficSource accesses, lowered to TraceRecords on the fly. */
+class CoherenceMessageStream : public trace::RecordSource
+{
+  public:
+    /** @p source must outlive the stream. At most 64 processors
+     *  (the sharer set is one machine word). */
+    CoherenceMessageStream(TrafficSource &source,
+                           const MsgStreamConfig &cfg = {});
+
+    const std::string &name() const override { return name_; }
+    NodeId numNodes() const override { return source_.numProcs(); }
+    std::size_t next(std::vector<trace::TraceRecord> &out,
+                     std::size_t max) override;
+
+    /** Records emitted so far (equals maxRecords after a capped
+     *  stream drains). */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Accesses consumed from the source so far. */
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    /** Directory view of one block: exclusive owner or sharer set. */
+    struct DirState
+    {
+        NodeId owner = invalid_node;
+        std::uint64_t sharers = 0;
+    };
+
+    bool refill();
+    void lower(const Access &a, std::int32_t iteration);
+    void emit(proto::MsgType type, NodeId sender, NodeId receiver,
+              std::int32_t iteration);
+
+    TrafficSource &source_;
+    MsgStreamConfig cfg_;
+    std::string name_;
+    FlatMap<Addr, DirState> dir_;
+    std::vector<Access> accessChunk_;
+    std::vector<trace::TraceRecord> pending_;
+    std::size_t cursor_ = 0;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t accesses_ = 0;
+    Tick tick_ = 0;
+    bool done_ = false;
+};
+
+} // namespace cosmos::forge
+
+#endif // COSMOS_FORGE_MSG_STREAM_HH

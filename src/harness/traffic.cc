@@ -58,6 +58,10 @@ runTraffic(const TrafficConfig &cfg, forge::TrafficSource &source)
                              violations.size(), " total)");
             }
         }
+        if (cfg.recordSink) {
+            cfg.recordSink(result.trace.records);
+            result.trace.records.clear();
+        }
         ++iter;
     }
     if (source.failed())

@@ -14,6 +14,8 @@
 #ifndef COSMOS_HARNESS_TRAFFIC_HH
 #define COSMOS_HARNESS_TRAFFIC_HH
 
+#include <functional>
+
 #include "common/config.hh"
 #include "forge/traffic_source.hh"
 #include "harness/experiment.hh"
@@ -49,6 +51,17 @@ struct TrafficConfig
 
     /** Optional observability export (see RunConfig::metrics). */
     obs::Registry *metrics = nullptr;
+
+    /**
+     * Per-chunk trace drain. When set, the records captured during
+     * each chunk are handed to the sink after the chunk's barrier
+     * and dropped -- the returned RunResult's trace carries metadata
+     * only (records stays empty), so an arbitrarily long source runs
+     * in constant memory. Records arrive in trace order, at most one
+     * chunk's worth per call.
+     */
+    std::function<void(const std::vector<trace::TraceRecord> &)>
+        recordSink;
 };
 
 /**

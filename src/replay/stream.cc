@@ -1,0 +1,64 @@
+#include "replay/stream.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+#include "cosmos/predictor_bank.hh"
+#include "cosmos/sharded_bank.hh"
+#include "obs/trace_event.hh"
+
+namespace cosmos::replay
+{
+
+ReplayResult
+replayStream(trace::RecordSource &source,
+             const pred::CosmosConfig &cfg, const StreamConfig &sc,
+             ThreadPool &pool, StreamStats *stats)
+{
+    cosmos_assert(sc.chunkRecords > 0,
+                  "chunkRecords must be positive");
+    const unsigned shards = std::max(sc.shards, 1u);
+    StreamStats st;
+    std::vector<trace::TraceRecord> chunk;
+    ReplayResult out;
+
+    if (shards == 1) {
+        pred::PredictorBank bank(source.numNodes(), cfg);
+        while (source.next(chunk, sc.chunkRecords) != 0) {
+            COSMOS_SPAN_ARGS("replay", "chunk", "records",
+                             chunk.size());
+            bank.observeChunk(chunk.data(), chunk.size(),
+                              sc.maxIteration, sc.batch);
+            st.records += chunk.size();
+            ++st.chunks;
+        }
+        out.accuracy = bank.accuracy();
+        out.cacheArcs = bank.arcs(proto::Role::cache);
+        out.directoryArcs = bank.arcs(proto::Role::directory);
+        out.memory = bank.memoryStats();
+    } else {
+        pred::ShardedPredictorBank bank(source.numNodes(), cfg,
+                                        shards);
+        while (source.next(chunk, sc.chunkRecords) != 0) {
+            COSMOS_SPAN_ARGS("replay", "chunk", "records",
+                             chunk.size());
+            bank.stageChunk(chunk.data(), chunk.size());
+            pool.parallelFor(shards, [&](std::size_t s) {
+                bank.applyShard(static_cast<unsigned>(s),
+                                sc.maxIteration, sc.batch);
+            });
+            st.records += chunk.size();
+            ++st.chunks;
+        }
+        out.accuracy = bank.accuracy();
+        out.cacheArcs = bank.arcs(proto::Role::cache);
+        out.directoryArcs = bank.arcs(proto::Role::directory);
+        out.memory = bank.memoryStats();
+    }
+
+    if (stats != nullptr)
+        *stats = st;
+    return out;
+}
+
+} // namespace cosmos::replay

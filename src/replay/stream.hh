@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Streaming replay: pull records from a trace::RecordSource in
+ * chunks and feed them through the batched predictor pipeline, so a
+ * replay's memory footprint is one chunk buffer plus predictor
+ * tables -- constant in stream length. This is how billion-message
+ * synthetic streams (forge::SynthSource lowered through
+ * forge::CoherenceMessageStream) reach the predictors without ever
+ * materializing a trace::Trace.
+ *
+ * With shards > 1 each pulled chunk is routed into per-shard buffers
+ * (cosmos/sharded_bank.hh) and the shards apply in parallel on the
+ * supplied pool. Chunk boundaries are barriers between pull and
+ * apply only -- predictor state persists across chunks inside each
+ * shard bank, so the result is bit-identical to a serial replay of
+ * the whole stream, for any chunk size and any shard count.
+ */
+
+#ifndef COSMOS_REPLAY_STREAM_HH
+#define COSMOS_REPLAY_STREAM_HH
+
+#include <cstdint>
+
+#include "cosmos/batch.hh"
+#include "cosmos/cosmos_predictor.hh"
+#include "replay/sweep.hh"
+#include "replay/thread_pool.hh"
+#include "trace/record_source.hh"
+
+namespace cosmos::replay
+{
+
+/** How to consume a record stream. */
+struct StreamConfig
+{
+    /** Independent predictor-bank shards; 1 = one serial bank. */
+    unsigned shards = 1;
+
+    /** Records pulled (and staged) per chunk. Large enough to
+     *  amortize the per-chunk stage/route pass, small enough that
+     *  the chunk buffer stays a rounding error next to the tables. */
+    std::size_t chunkRecords = std::size_t{1} << 16;
+
+    /** Batched-observe tunables, passed through to every bank. */
+    pred::BatchConfig batch{};
+
+    /** Records with iteration > maxIteration are skipped (Table 8
+     *  prefix replays work on streams too). */
+    std::int32_t maxIteration = INT32_MAX;
+};
+
+/** What a streaming replay consumed (artifact metadata). */
+struct StreamStats
+{
+    std::uint64_t records = 0; ///< records pulled from the source
+    std::uint64_t chunks = 0;  ///< chunks the pull loop made
+};
+
+/**
+ * Replay @p source to exhaustion through Cosmos banks configured by
+ * @p cfg. Statistics merge in shard-index order, so the returned
+ * counters are bit-identical for any (shards, chunkRecords, batch)
+ * choice -- including a materialized PredictorBank::replay of the
+ * same records.
+ */
+ReplayResult replayStream(trace::RecordSource &source,
+                          const pred::CosmosConfig &cfg,
+                          const StreamConfig &sc, ThreadPool &pool,
+                          StreamStats *stats = nullptr);
+
+} // namespace cosmos::replay
+
+#endif // COSMOS_REPLAY_STREAM_HH

@@ -81,7 +81,8 @@ SweepEngine::replayTrace(const trace::Trace &t, const ReplayJob &job,
         COSMOS_SPAN_ARGS("replay", "shard", "records",
                          t.records.size());
         pred::PredictorBank bank(t.numNodes, job.config);
-        bank.replay(t, job.maxIteration);
+        bank.reserveFromCensus(trace::moduleBlockCensus(t));
+        bank.replayBatched(t, job.maxIteration);
         return extract(bank);
     }
 
@@ -91,7 +92,9 @@ SweepEngine::replayTrace(const trace::Trace &t, const ReplayJob &job,
         COSMOS_SPAN_ARGS("replay", "shard", "index", s, "records",
                          parts[s].records.size());
         pred::PredictorBank bank(t.numNodes, job.config);
-        bank.replay(parts[s].records, job.maxIteration);
+        bank.reserveFromCensus(
+            trace::moduleBlockCensus(parts[s].records, t.numNodes));
+        bank.replayBatched(parts[s].records, job.maxIteration);
         partial[s] = extract(bank);
     });
 

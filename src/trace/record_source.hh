@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Streaming sources of coherence-message records.
+ *
+ * A materialized trace::Trace holds every record in one vector --
+ * fine for the paper's five kernels, hopeless for billion-message
+ * synthetic streams. RecordSource is the record-level twin of
+ * forge::TrafficSource: consumers pull TraceRecords in chunks, so a
+ * replay's memory footprint is the chunk buffer plus predictor
+ * tables, independent of stream length.
+ *
+ * Sources promise the same two invariants a materialized trace gives
+ * a replayer: records of one block arrive in stream order, and the
+ * stream content is a deterministic function of the source's
+ * configuration -- byte-identical regardless of how the consumer
+ * chunks its pulls. Under those invariants a chunked replay is
+ * bit-identical to a materialized one.
+ */
+
+#ifndef COSMOS_TRACE_RECORD_SOURCE_HH
+#define COSMOS_TRACE_RECORD_SOURCE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cosmos::trace
+{
+
+/** Streaming producer of coherence-message records. */
+class RecordSource
+{
+  public:
+    virtual ~RecordSource() = default;
+
+    /** Human-readable source name (diagnostics, artifacts). */
+    virtual const std::string &name() const = 0;
+
+    /** Nodes the stream may reference (receivers in [0, numNodes)). */
+    virtual NodeId numNodes() const = 0;
+
+    /**
+     * Replace @p out with up to @p max further records.
+     * @return the number produced; 0 means exhausted.
+     */
+    virtual std::size_t next(std::vector<TraceRecord> &out,
+                             std::size_t max) = 0;
+};
+
+/**
+ * A materialized trace viewed as a stream -- the bridge that lets
+ * one replayer serve both worlds, and the reference the streaming
+ * tests compare against. The trace must outlive the source.
+ */
+class TraceRecordSource : public RecordSource
+{
+  public:
+    explicit TraceRecordSource(const Trace &t) : trace_(t) {}
+
+    const std::string &name() const override { return trace_.app; }
+    NodeId numNodes() const override { return trace_.numNodes; }
+
+    std::size_t
+    next(std::vector<TraceRecord> &out, std::size_t max) override
+    {
+        out.clear();
+        const std::size_t n =
+            std::min(max, trace_.records.size() - cursor_);
+        out.insert(out.end(), trace_.records.begin() + cursor_,
+                   trace_.records.begin() + cursor_ + n);
+        cursor_ += n;
+        return n;
+    }
+
+    /** Rewind to the beginning (repeated bench reps). */
+    void rewind() { cursor_ = 0; }
+
+  private:
+    const Trace &trace_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace cosmos::trace
+
+#endif // COSMOS_TRACE_RECORD_SOURCE_HH

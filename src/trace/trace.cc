@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "common/flat_map.hh"
+
 namespace cosmos::trace
 {
 
@@ -28,6 +30,53 @@ Trace::distinctBlocks() const
     for (const auto &r : records)
         blocks.insert(r.block);
     return blocks.size();
+}
+
+std::vector<std::uint32_t>
+moduleBlockCensus(const Trace &t)
+{
+    std::vector<std::uint32_t> census(2u * t.numNodes, 0);
+    // One flat set over (node, role, block): the same key layout the
+    // non-Cosmos bank uses for its last-type table.
+    FlatMap<std::uint64_t, bool> seen;
+    seen.reserve(t.records.size() / 8 + 8);
+    for (const auto &r : t.records) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(r.receiver) << 48) |
+            (static_cast<std::uint64_t>(
+                 r.role == proto::Role::directory ? 1 : 0)
+             << 40) |
+            r.block;
+        if (seen.find(key) == nullptr) {
+            seen.insert(key, true);
+            ++census[2u * r.receiver +
+                     (r.role == proto::Role::directory ? 1 : 0)];
+        }
+    }
+    return census;
+}
+
+std::vector<std::uint32_t>
+moduleBlockCensus(const std::vector<const TraceRecord *> &records,
+                  NodeId num_nodes)
+{
+    std::vector<std::uint32_t> census(2u * num_nodes, 0);
+    FlatMap<std::uint64_t, bool> seen;
+    seen.reserve(records.size() / 8 + 8);
+    for (const TraceRecord *r : records) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(r->receiver) << 48) |
+            (static_cast<std::uint64_t>(
+                 r->role == proto::Role::directory ? 1 : 0)
+             << 40) |
+            r->block;
+        if (seen.find(key) == nullptr) {
+            seen.insert(key, true);
+            ++census[2u * r->receiver +
+                     (r->role == proto::Role::directory ? 1 : 0)];
+        }
+    }
+    return census;
 }
 
 TraceRecorder::TraceRecorder(Trace &out, std::int32_t warmup_iterations)

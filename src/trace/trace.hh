@@ -58,6 +58,21 @@ struct Trace
 };
 
 /**
+ * Distinct blocks per (node, role) module, indexed 2 * node + (0 for
+ * cache, 1 for directory) -- exactly the per-predictor table sizes a
+ * PredictorBank will grow to when replaying this trace. Computed once
+ * outside a timed region, the census lets banks reserve their block
+ * tables up front so no rehash ever lands inside a replay.
+ */
+std::vector<std::uint32_t> moduleBlockCensus(const Trace &t);
+
+/** The same census over a pre-selected record slice (e.g. one block
+ *  shard), so sharded replays can pre-size their banks too. */
+std::vector<std::uint32_t>
+moduleBlockCensus(const std::vector<const TraceRecord *> &records,
+                  NodeId num_nodes);
+
+/**
  * Machine observer that appends records to a Trace.
  *
  * Records tagged with an iteration below @p warmup_iterations are
