@@ -34,6 +34,11 @@ Schemas:
                   batch-pipeline tunables, scalar AND batched serial
                   dsmc cells, and sweep / stream sections that each
                   carry their thread, shard, and chunk metadata
+    forwarding    a cosmos-bench-forwarding-v1 document from
+                  bench_ablation_forwarding: one row per app covering
+                  the never/always/predicted cells, each with timing,
+                  accuracy, speedup, and forwarding counters whose
+                  fwd_ack handshake closes (acks == forwards sent)
 
 Exits non-zero with a per-file message on the first failure, so it
 slots directly into scripts/ci.sh.
@@ -153,7 +158,8 @@ def check_fuzz(doc):
 
 
 MODEL_CONFIG_KEYS = {"nodes", "blocks", "reorder", "policy",
-                     "forwarding", "ignore_inval_every"}
+                     "forwarding", "legacy_forwarding",
+                     "ignore_inval_every"}
 
 MODEL_COUNTER_KEYS = {"states", "transitions", "max_depth",
                       "deadlocks", "failed_steps"}
@@ -161,7 +167,8 @@ MODEL_COUNTER_KEYS = {"states", "transitions", "max_depth",
 MODEL_ENTRY_KEYS = {"module", "state", "input", "context", "hits",
                     "outcomes"}
 
-LINT_KINDS = {"unreachable_state", "dead_input", "nondeterministic"}
+LINT_KINDS = {"unreachable_state", "dead_input", "nondeterministic",
+              "forwarding_asymmetry"}
 
 
 def check_model(doc):
@@ -360,11 +367,67 @@ def check_bench(doc):
     return None
 
 
+FORWARDING_CELL_KEYS = {"mode", "time", "cache_pct", "directory_pct",
+                        "overall_pct", "forwards_sent",
+                        "forwards_suppressed", "fwd_acks",
+                        "fwd_queries", "fwd_granted",
+                        "measured_speedup_pct", "model_speedup_pct"}
+
+FORWARDING_MODES = {"never", "always", "predicted"}
+
+
+def check_forwarding(doc):
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if doc.get("schema") != "cosmos-bench-forwarding-v1":
+        return f"unexpected schema field: {doc.get('schema')!r}"
+    apps = doc.get("apps")
+    if not isinstance(apps, list) or not apps:
+        return "missing or empty \"apps\" array"
+    for i, a in enumerate(apps):
+        if not isinstance(a, dict) or not isinstance(a.get("app"),
+                                                     str):
+            return f"app row {i} is malformed"
+        cells = a.get("cells")
+        if not isinstance(cells, list):
+            return f"app {a['app']!r} has no cells"
+        modes = set()
+        for j, c in enumerate(cells):
+            if not isinstance(c, dict):
+                return f"app {a['app']!r} cell {j} is not an object"
+            missing = FORWARDING_CELL_KEYS - c.keys()
+            if missing:
+                return (f"app {a['app']!r} cell {j} missing keys: "
+                        f"{sorted(missing)}")
+            if c["mode"] not in FORWARDING_MODES:
+                return (f"app {a['app']!r} cell {j} has unknown mode "
+                        f"{c['mode']!r}")
+            if c["time"] <= 0:
+                return f"app {a['app']!r} cell {c['mode']} ran no time"
+            if c["fwd_acks"] != c["forwards_sent"]:
+                return (f"app {a['app']!r} cell {c['mode']}: fwd_ack "
+                        f"count disagrees with forwards sent -- the "
+                        f"handshake did not close")
+            if c["mode"] == "never" and c["forwards_sent"] != 0:
+                return (f"app {a['app']!r}: the never cell forwarded "
+                        f"{c['forwards_sent']} transfers")
+            if c["mode"] == "predicted" and \
+                    c["fwd_granted"] > c["fwd_queries"]:
+                return (f"app {a['app']!r}: predicted cell granted "
+                        f"more forwards than it was queried for")
+            modes.add(c["mode"])
+        if modes != FORWARDING_MODES:
+            return (f"app {a['app']!r} covers modes {sorted(modes)}, "
+                    f"need never/always/predicted")
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--schema", default="any",
                     choices=["any", "metrics", "chrome-trace",
-                             "fuzz", "model", "forge", "bench"])
+                             "fuzz", "model", "forge", "bench",
+                             "forwarding"])
     ap.add_argument("files", nargs="+", metavar="FILE")
     args = ap.parse_args()
 
@@ -388,6 +451,8 @@ def main():
             error = check_forge(doc)
         elif args.schema == "bench":
             error = check_bench(doc)
+        elif args.schema == "forwarding":
+            error = check_forwarding(doc)
         if error:
             print(f"check_json: {path}: {error}", file=sys.stderr)
             return 1

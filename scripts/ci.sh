@@ -34,6 +34,8 @@ for b in build/bench/bench_*; do
                  --out build/BENCH_predictor_throughput.json > /dev/null ;;
         bench_forge)
             "$b" --out build/BENCH_forge.json > /dev/null ;;
+        bench_ablation_forwarding)
+            "$b" --out build/BENCH_forwarding.json > /dev/null ;;
         *)
             "$b" > /dev/null ;;
     esac
@@ -62,6 +64,8 @@ python3 scripts/check_json.py --schema metrics \
 python3 scripts/check_json.py --schema chrome-trace \
     artifacts/trace_sweep.json
 python3 scripts/check_json.py build/BENCH_*.json
+python3 scripts/check_json.py --schema forwarding \
+    build/BENCH_forwarding.json
 echo "== observability smoke OK"
 
 # Fuzz smoke: 200 fixed seeds through the schedule fuzzer + invariant
@@ -120,6 +124,48 @@ if ./build/tools/cosmos fuzz \
 fi
 echo "== model-check smoke OK (48/488-state closures, planted bug" \
      "caught and replayed)"
+
+# Forwarding model-check: the fwd_ack handshake must close every
+# forwarded space with zero violations at the pinned golden counts
+# (2n1b, 3n1b, and the deeper 3n2b space). Negative leg:
+# --legacy-forwarding (the pre-fix release-on-revision behavior, kept
+# as a negative-testing oracle) MUST still reproduce the original
+# three-hop race -- the owner's direct data reply and the home's next
+# invalidation travel independent channels, and the checker has to
+# find the interleaving where the invalidation wins. Two nodes cannot
+# race (home, owner, and requester must be distinct parties), so the
+# must-fail leg runs at --nodes 3.
+./build/tools/cosmos model --forwarding \
+    --out artifacts/model_2n_fwd.json > /dev/null
+./build/tools/cosmos model --forwarding --nodes 3 \
+    --out artifacts/model_3n_fwd.json > /dev/null
+./build/tools/cosmos model --forwarding --nodes 3 --blocks 2 \
+    --out artifacts/model_3n2b_fwd.json > /dev/null
+python3 scripts/check_json.py --schema model \
+    artifacts/model_2n_fwd.json artifacts/model_3n_fwd.json \
+    artifacts/model_3n2b_fwd.json
+grep -q '"states": 78,' artifacts/model_2n_fwd.json
+grep -q '"transitions": 142,' artifacts/model_2n_fwd.json
+grep -q '"nondeterministic": 0' artifacts/model_2n_fwd.json
+grep -q '"states": 883,' artifacts/model_3n_fwd.json
+grep -q '"transitions": 2149,' artifacts/model_3n_fwd.json
+grep -q '"nondeterministic": 0' artifacts/model_3n_fwd.json
+grep -q '"states": 276396,' artifacts/model_3n2b_fwd.json
+grep -q '"transitions": 971246,' artifacts/model_3n2b_fwd.json
+if ./build/tools/cosmos model --forwarding --legacy-forwarding \
+    --nodes 3 --out artifacts/model_legacy_fwd.json \
+    --counterexample-out artifacts/legacy_counterexample.txt \
+    > /dev/null; then
+    echo "model smoke: the legacy forwarding race was NOT caught" >&2
+    exit 1
+fi
+python3 scripts/check_json.py --schema model \
+    artifacts/model_legacy_fwd.json
+grep -q '"clean": false' artifacts/model_legacy_fwd.json
+grep -q 'state wait_' artifacts/model_legacy_fwd.json
+grep -q 'legacy_forwarding=1' artifacts/legacy_counterexample.txt
+echo "== forwarding model-check OK (78/883/276396-state closures" \
+     "clean, legacy race caught)"
 
 # Forge / trace-ingestion smoke: a generated text trace must replay
 # through the simulator byte-for-byte (gen -> run round-trip, plus a

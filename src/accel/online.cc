@@ -88,6 +88,31 @@ OnlineAccelerator::onMessage(const proto::Msg &m, proto::Role role,
 }
 
 bool
+OnlineAccelerator::forwardOwnerTransfer(Addr block, NodeId owner,
+                                        NodeId requester,
+                                        bool wantWritable)
+{
+    (void)owner;
+    (void)requester;
+    (void)wantWritable;
+    if (!options_.enableForwardGate)
+        return true;
+    ++stats_.fwdQueries;
+    // Delivery probes run before handlers, so the confidence streak
+    // already includes the triggering request: it survived only if
+    // the predictor anticipated that request -- sender (the
+    // requester) and type both matched. A predictable block keeps
+    // the three-hop fast path; an unpredictable one falls back to
+    // the home reply, whose extra hop buys the directory a serialized
+    // view of the hand-off.
+    const NodeId home = machine_.addrMap().home(block);
+    const bool fwd = confident(home, block);
+    if (fwd)
+        ++stats_.fwdGranted;
+    return fwd;
+}
+
+bool
 OnlineAccelerator::grantExclusiveOnRead(Addr block, NodeId requester)
 {
     if (!options_.enableReplyExclusive)

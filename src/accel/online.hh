@@ -11,10 +11,14 @@
  *  - voluntary recall: when the predictor expects the next message
  *    for an exclusively-held block to be a read by another node, the
  *    owner's copy is recalled home early, so the eventual read is
- *    served from memory without the three-hop owner round trip.
+ *    served from memory without the three-hop owner round trip;
+ *  - forwarding gate: under --forwarding with forwardingPredicted,
+ *    each owner recall consults the predictor before marking the
+ *    recall forwarded -- predictable blocks take the three-hop
+ *    direct path, unpredictable ones the plain home reply.
  *
- * Both actions move the protocol between legal states, so a wrong
- * prediction costs only extra misses/messages (§4.3, class 1).
+ * All three actions move the protocol between legal states, so a
+ * wrong prediction costs only extra misses/messages (§4.3, class 1).
  */
 
 #ifndef COSMOS_ACCEL_ONLINE_HH
@@ -39,6 +43,14 @@ struct OnlineOptions
     bool enableReplyExclusive = true;
     bool enableVoluntaryRecall = true;
     /**
+     * Answer the directory's forwardOwnerTransfer queries (only
+     * issued when MachineConfig::forwardingPredicted is set): forward
+     * the owner's data three-hop when the block's directory-side
+     * traffic has been predictable lately, reply through home when it
+     * has not. Off = always forward, the static §2.1 behavior.
+     */
+    bool enableForwardGate = false;
+    /**
      * Act only when the block's recent prediction streak reaches
      * this length (0 = act on any prediction). §4.2's timing
      * concern: acting on an unproven prediction wastes work on
@@ -56,6 +68,8 @@ struct OnlineStats
     std::uint64_t recallTriggers = 0; ///< predictions suggesting recall
     std::uint64_t recallsStarted = 0; ///< accepted by the directory
     std::uint64_t gatedByConfidence = 0; ///< actions suppressed
+    std::uint64_t fwdQueries = 0;  ///< forwardOwnerTransfer calls
+    std::uint64_t fwdGranted = 0;  ///< ... answered "forward 3-hop"
 };
 
 /**
@@ -79,6 +93,9 @@ class OnlineAccelerator : public proto::MsgObserver,
 
     // proto::DirectorySpeculation
     bool grantExclusiveOnRead(Addr block, NodeId requester) override;
+    bool forwardOwnerTransfer(Addr block, NodeId owner,
+                              NodeId requester,
+                              bool wantWritable) override;
 
     const OnlineStats &stats() const { return stats_; }
     const pred::PredictorBank &bank() const { return bank_; }

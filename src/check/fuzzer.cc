@@ -472,7 +472,12 @@ loadCounterexample(const std::string &path)
         if (line.rfind("# config", 0) == 0) {
             c.cfg.numNodes = static_cast<NodeId>(
                 parseField(line, "nodes", c.cfg.numNodes));
+            // "forwarding=" also matches inside "legacy_forwarding=",
+            // but the header always writes the plain field first, so
+            // the first occurrence is the right one.
             c.cfg.forwarding = parseField(line, "forwarding", 0) != 0;
+            c.cfg.legacyForwarding =
+                parseField(line, "legacy_forwarding", 0) != 0;
             c.cfg.fault.ignoreInvalEvery =
                 parseField(line, "inject_ignore_inval", 0);
             const std::string policy = parseWord(line, "policy");

@@ -88,7 +88,17 @@ InvariantEngine::onDelivered(const proto::Msg &m, Tick when)
         history_.pop_front();
 
     // Message conservation: per block, every delivered response must
-    // answer a previously delivered request.
+    // answer a previously delivered request. fwd_ack is exempt: it
+    // answers no request -- it is the requester's receipt for the
+    // forwarded data response, closing a handshake the request
+    // counter does not model.
+    if (m.type == proto::MsgType::fwd_ack) {
+        if (opts_.perMessage)
+            checkBlock(m.block, when);
+        if ((delivered_ & 1023) == 0)
+            scanPendingWindows(when);
+        return;
+    }
     auto it = flights_.try_emplace(m.block).first;
     Flight &f = it->second;
     if (proto::isRequest(m.type)) {

@@ -17,6 +17,10 @@ MachineConfig::validate() const
         cosmos_fatal("block size must be a power of two");
     if (!std::has_single_bit(pageBytes) || pageBytes < blockBytes)
         cosmos_fatal("page size must be a power of two >= block size");
+    if (legacyForwarding && forwardingPredicted)
+        cosmos_fatal("--legacy-forwarding is a negative-testing oracle "
+                     "and cannot be combined with prediction-gated "
+                     "forwarding");
 }
 
 std::string

@@ -81,8 +81,34 @@ struct MachineConfig
      * requester (three hops) instead of through the home (four).
      * The paper expects "no first-order effect on coherence
      * prediction's usability"; bench_ablation_forwarding checks.
+     *
+     * The three-hop transfer is closed by a fwd_ack from the
+     * requester to the home: the directory entry stays busy (queueing
+     * later requests) until the requester confirms the forwarded data
+     * arrived, so the home's next invalidation can never overtake the
+     * owner's direct reply. Model-checked to closure by
+     * `cosmos model --forwarding`.
      */
     bool forwarding = false;
+
+    /**
+     * Revert to the pre-fwd_ack forwarding protocol: the owner's
+     * direct reply is not acknowledged and the home releases the
+     * entry as soon as the owner's revision message arrives. This
+     * reintroduces a real race (the home's next invalidation can
+     * reach the requester before the owner's data) and exists purely
+     * as a negative-testing oracle for the model checker and CI.
+     */
+    bool legacyForwarding = false;
+
+    /**
+     * Gate each three-hop forward on the directory's speculation
+     * hook (DirectorySpeculation::forwardOwnerTransfer): forward only
+     * when the predictor expects the requester to be the block's next
+     * reader; otherwise fall back to the four-hop home reply. No-op
+     * unless `forwarding` is set and a speculation hook is installed.
+     */
+    bool forwardingPredicted = false;
 
     /**
      * Deliberate protocol-bug injection, exclusively for exercising

@@ -33,6 +33,9 @@ collectTotals(const proto::Machine &machine)
         t.invalsSent += d.invalsSent;
         t.exclusiveGrants += d.exclusiveGrants;
         t.recalls += d.recalls;
+        t.forwardsSent += d.forwardsSent;
+        t.forwardsSuppressed += d.forwardsSuppressed;
+        t.fwdAcks += d.fwdAcks;
     }
     return t;
 }

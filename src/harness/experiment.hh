@@ -56,6 +56,12 @@ struct ProtocolTotals
     std::uint64_t recalls = 0;
     std::uint64_t evictions = 0;
     std::uint64_t staleInvals = 0;
+    /** Owner recalls sent with the forwarded mark (three-hop). */
+    std::uint64_t forwardsSent = 0;
+    /** Recalls the speculation hook demoted to home replies. */
+    std::uint64_t forwardsSuppressed = 0;
+    /** fwd_ack receipts the directories consumed. */
+    std::uint64_t fwdAcks = 0;
 };
 
 /** What came out. */

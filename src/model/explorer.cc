@@ -411,6 +411,7 @@ formatCounterexample(const ModelConfig &mc, const Counterexample &ce)
         "# config nodes=", mc.numNodes, " blocks=", mc.numBlocks,
         " reorder=", mc.reorder, " policy=", toString(mc.policy),
         " forwarding=", mc.forwarding ? 1 : 0,
+        " legacy_forwarding=", mc.legacyForwarding ? 1 : 0,
         " inject_ignore_inval=", mc.ignoreInvalEvery, "\n");
     out += detail::concat("# violation ",
                           check::toString(ce.violation.kind), "\n");

@@ -75,6 +75,8 @@ renderReport(const ModelConfig &mc, const ExploreResult &res)
        << " blocks=" << mc.numBlocks << " reorder=" << mc.reorder
        << " policy=" << toString(mc.policy)
        << " forwarding=" << (mc.forwarding ? 1 : 0);
+    if (mc.legacyForwarding)
+        os << " legacy_forwarding=1";
     if (mc.ignoreInvalEvery)
         os << " inject_ignore_inval=" << mc.ignoreInvalEvery;
     os << "\n";
@@ -121,6 +123,8 @@ writeReportJson(const std::string &path, const ModelConfig &mc,
        << ", \"reorder\": " << mc.reorder << ", \"policy\": ";
     appendJsonString(os, toString(mc.policy));
     os << ", \"forwarding\": " << (mc.forwarding ? "true" : "false")
+       << ", \"legacy_forwarding\": "
+       << (mc.legacyForwarding ? "true" : "false")
        << ", \"ignore_inval_every\": " << mc.ignoreInvalEvery
        << "},\n";
     os << "  \"complete\": " << (res.complete ? "true" : "false")

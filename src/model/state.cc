@@ -26,6 +26,7 @@ ModelConfig::machineConfig() const
     cfg.numNodes = numNodes;
     cfg.ownerReadPolicy = policy;
     cfg.forwarding = forwarding;
+    cfg.legacyForwarding = legacyForwarding;
     cfg.fault.ignoreInvalEvery = ignoreInvalEvery;
     // Stache's no-replacement mode: the model has no eviction actions.
     cfg.cacheCapacityBlocks = 0;
@@ -218,6 +219,8 @@ encodeState(const GlobalState &s, const ModelConfig &mc,
         out.push_back(e.pendingAcks);
         out.push_back(static_cast<std::uint8_t>(e.genuineUpgrade));
         out.push_back(static_cast<std::uint8_t>(e.recall));
+        out.push_back(static_cast<std::uint8_t>(e.fwdData));
+        out.push_back(static_cast<std::uint8_t>(e.fwdAckPending));
         encodeMsg(e.current, out);
         encodeQueue(e.waiting, out);
     }
@@ -247,6 +250,8 @@ decodeState(const std::uint8_t *enc, std::size_t len,
         e.pendingAcks = enc[at++];
         e.genuineUpgrade = enc[at++] != 0;
         e.recall = enc[at++] != 0;
+        e.fwdData = enc[at++] != 0;
+        e.fwdAckPending = enc[at++] != 0;
         at += decodeMsg(enc + at, e.current);
         at += decodeQueue(enc + at, e.waiting);
     }

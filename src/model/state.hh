@@ -62,6 +62,10 @@ struct ModelConfig
     OwnerReadPolicy policy = OwnerReadPolicy::half_migratory;
     bool forwarding = false;
 
+    /** Explore the pre-fwd_ack forwarding protocol (the negative
+     *  oracle; the checker must find the three-hop race). */
+    bool legacyForwarding = false;
+
     /** Planted lost-invalidation bug (MachineConfig::fault). */
     unsigned ignoreInvalEvery = 0;
 
@@ -152,6 +156,8 @@ struct DirEntryState
     std::uint8_t pendingAcks = 0;
     bool genuineUpgrade = false;
     bool recall = false;
+    bool fwdData = false;
+    bool fwdAckPending = false;
     CompactMsg current{}; ///< meaningful only while busy && !recall
     MsgQueue waiting{};
 

@@ -94,6 +94,8 @@ Stepper::load(const GlobalState &s)
             es.pendingAcks = e.pendingAcks;
             es.genuineUpgrade = e.genuineUpgrade;
             es.recall = e.recall;
+            es.fwdData = e.fwdData;
+            es.fwdAckPending = e.fwdAckPending;
             es.current = toMsg(e.current);
             for (unsigned i = 0; i < e.waiting.count; ++i)
                 es.waiting.push_back(toMsg(e.waiting.items[i]));
@@ -139,6 +141,8 @@ Stepper::readBack(GlobalState &out)
                     static_cast<std::uint8_t>(es.pendingAcks);
                 e.genuineUpgrade = es.genuineUpgrade;
                 e.recall = es.recall;
+                e.fwdData = es.fwdData;
+                e.fwdAckPending = es.fwdAckPending;
                 if (!es.recall)
                     e.current = fromMsg(es.current);
             }
@@ -216,6 +220,20 @@ Stepper::runCascade(Result &out, std::vector<proto::Msg> &worklist,
             sample.input = static_cast<std::uint8_t>(m.type);
             sample.pre = static_cast<std::uint8_t>(
                 caches_[m.dst]->state(m.block));
+            // The forwarded mark changes what the cache emits: a
+            // marked recall adds the direct data reply, marked data
+            // adds the fwd_ack receipt. The mark -- and, for recalls,
+            // whether the requester wanted a writable copy, which
+            // picks the reply type -- is message state, not cache
+            // state, so tag both to keep rows deterministic.
+            if (m.forwarded) {
+                appendTag(sample.context, "fwd");
+                if (m.type == proto::MsgType::inval_rw_request ||
+                    m.type == proto::MsgType::downgrade_request) {
+                    appendTag(sample.context,
+                              m.wantWritable ? "rw" : "ro");
+                }
+            }
             caches_[m.dst]->handleMessage(m);
             drainInto(sample, worklist, work, m.dst);
             sample.post = static_cast<std::uint8_t>(
@@ -261,7 +279,26 @@ Stepper::runCascade(Result &out, std::vector<proto::Msg> &worklist,
                 break;
               case proto::MsgType::inval_rw_response:
               case proto::MsgType::downgrade_response:
+                // Forwarded transfers settle differently (the owner
+                // already answered the requester), and whether the
+                // entry can finish depends on the fwd_ack having
+                // arrived -- both are hidden directory state, so tag
+                // them to keep the table rows deterministic.
+                if (pre.fwdData)
+                    appendTag(sample.context, "fwd");
+                if (pre.fwdAckPending)
+                    appendTag(sample.context, "await_ack");
                 if (!pre.waiting.empty())
+                    appendTag(sample.context, "q");
+                break;
+              case proto::MsgType::fwd_ack:
+                // The ack may arrive before or after the owner's
+                // revision message; only the latter order finishes
+                // the transaction here.
+                appendTag(sample.context, pre.pendingAcks > 0
+                                              ? "await_data"
+                                              : "data_done");
+                if (pre.pendingAcks == 0 && !pre.waiting.empty())
                     appendTag(sample.context, "q");
                 break;
               default:

@@ -165,6 +165,8 @@ LintFinding::toString(Kind k)
       case Kind::unreachable_state: return "unreachable_state";
       case Kind::dead_input:        return "dead_input";
       case Kind::nondeterministic:  return "nondeterministic";
+      case Kind::forwarding_asymmetry:
+        return "forwarding_asymmetry";
     }
     return "?";
 }
@@ -217,6 +219,33 @@ TransitionTable::lint() const
                          detail::concat("state ", stateName(m, st),
                                         " never receives ",
                                         inputName(in))});
+                }
+            }
+        }
+    }
+
+    // inval_ro_request sweeps are never forwarded (the home holds
+    // the data while the block is shared), so no cache row handling
+    // one may emit a data response. A violation here means
+    // DirectoryController::forward() started marking ro-sweeps
+    // `forwarded`, which the fwd_ack handshake does not cover.
+    for (const auto &[key, entry] : entries_) {
+        if (key.module != Module::cache ||
+            key.input != static_cast<std::uint8_t>(
+                             proto::MsgType::inval_ro_request)) {
+            continue;
+        }
+        for (const Outcome &o : entry.outcomes) {
+            for (proto::MsgType t : o.emissions) {
+                if (t == proto::MsgType::get_ro_response ||
+                    t == proto::MsgType::get_rw_response) {
+                    findings.push_back(
+                        {LintFinding::Kind::forwarding_asymmetry,
+                         key.module,
+                         detail::concat(key.format(),
+                                        " emits a forwarded data "
+                                        "response (",
+                                        proto::toString(t), ")")});
                 }
             }
         }

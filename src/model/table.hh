@@ -68,11 +68,11 @@ enum class DirAbstract : std::uint8_t
 
 const char *toString(DirAbstract s);
 
-/** Pseudo-inputs for processor accesses (the 12 MsgType values are
- *  0..11; these extend the input alphabet). */
-constexpr std::uint8_t input_proc_read = 12;
-constexpr std::uint8_t input_proc_write = 13;
-constexpr unsigned num_inputs = 14;
+/** Pseudo-inputs for processor accesses (the 13 MsgType values are
+ *  0..12; these extend the input alphabet). */
+constexpr std::uint8_t input_proc_read = 13;
+constexpr std::uint8_t input_proc_write = 14;
+constexpr unsigned num_inputs = 15;
 
 /** Printable input name ("get_ro_request", "proc_read", ...). */
 const char *inputName(std::uint8_t input);
@@ -131,6 +131,12 @@ struct LintFinding
         unreachable_state, ///< declared state never observed
         dead_input,        ///< (state, input) never exercised
         nondeterministic,  ///< key with > 1 outcome (not whitelisted)
+        /** A cache handling an inval_ro_request emitted a data
+         *  response. inval_ro sweeps target shared blocks, whose
+         *  data the home itself holds, so they must never be
+         *  forwarded three-hop -- only inval_rw/downgrade recalls
+         *  are (DirectoryController::forward's asymmetry). */
+        forwarding_asymmetry,
     };
 
     Kind kind{};

@@ -119,7 +119,8 @@ CacheController::restore(const CacheSnapshot &s, DoneFn on_complete)
 }
 
 void
-CacheController::send(MsgType t, NodeId dst, Addr block)
+CacheController::send(MsgType t, NodeId dst, Addr block,
+                      bool forwarded)
 {
     Msg m;
     m.type = t;
@@ -127,6 +128,7 @@ CacheController::send(MsgType t, NodeId dst, Addr block)
     m.dst = dst;
     m.block = block;
     m.requester = node_;
+    m.forwarded = forwarded;
     sendFn_(m);
 }
 
@@ -208,6 +210,11 @@ CacheController::handleMessage(const Msg &m)
         cosmos_assert(pending_.count(block) &&
                           st == LineState::wait_ro,
                       "unexpected get_ro_response at node ", node_);
+        // Forwarded three-hop data came straight from the former
+        // owner; tell home it arrived so the directory entry can be
+        // released (it queues later requests until then).
+        if (m.forwarded)
+            send(MsgType::fwd_ack, amap_.home(block), block);
         complete(block, LineState::read_only);
         break;
 
@@ -222,6 +229,8 @@ CacheController::handleMessage(const Msg &m)
                            st == LineState::wait_upg ||
                            st == LineState::wait_ro),
                       "unexpected get_rw_response at node ", node_);
+        if (m.forwarded)
+            send(MsgType::fwd_ack, amap_.home(block), block);
         complete(block, LineState::read_write);
         break;
 
@@ -276,10 +285,13 @@ CacheController::handleMessage(const Msg &m)
         setState(block, LineState::invalid);
         if (m.forwarded) {
             // Three-hop transfer: hand the data straight to the
-            // requester, plus a revision message home.
+            // requester, plus a revision message home. The response
+            // is marked forwarded so the requester acknowledges home
+            // (the legacy oracle omits the mark, and with it the
+            // fwd_ack -- reproducing the original race).
             send(m.wantWritable ? MsgType::get_rw_response
                                 : MsgType::get_ro_response,
-                 m.requester, block);
+                 m.requester, block, !cfg_.legacyForwarding);
         }
         send(MsgType::inval_rw_response, m.src, block);
         break;
@@ -291,7 +303,8 @@ CacheController::handleMessage(const Msg &m)
                       toString(st), " at node ", node_);
         setState(block, LineState::read_only);
         if (m.forwarded)
-            send(MsgType::get_ro_response, m.requester, block);
+            send(MsgType::get_ro_response, m.requester, block,
+                 !cfg_.legacyForwarding);
         send(MsgType::downgrade_response, m.src, block);
         break;
 

@@ -150,7 +150,8 @@ class CacheController
 
   private:
     void complete(Addr block, LineState final_state);
-    void send(MsgType t, NodeId dst, Addr block);
+    void send(MsgType t, NodeId dst, Addr block,
+              bool forwarded = false);
     /** Transition @p block, keeping the valid-line census. */
     void setState(Addr block, LineState st);
     /** Silently drop a read-only victim to respect the capacity. */

@@ -114,6 +114,8 @@ DirectoryController::snapshot(DirectorySnapshot &out) const
         s.pendingAcks = e.pendingAcks;
         s.genuineUpgrade = e.genuineUpgrade;
         s.recall = e.recall;
+        s.fwdData = e.fwdData;
+        s.fwdAckPending = e.fwdAckPending;
         s.current = e.current;
         s.waiting.assign(e.waiting.begin(), e.waiting.end());
         out.entries.push_back(std::move(s));
@@ -137,6 +139,8 @@ DirectoryController::restore(const DirectorySnapshot &s)
         e.pendingAcks = es.pendingAcks;
         e.genuineUpgrade = es.genuineUpgrade;
         e.recall = es.recall;
+        e.fwdData = es.fwdData;
+        e.fwdAckPending = es.fwdAckPending;
         e.current = es.current;
         e.waiting.assign(es.waiting.begin(), es.waiting.end());
     }
@@ -171,10 +175,30 @@ DirectoryController::forward(MsgType t, NodeId dst, Addr block,
     m.block = block;
     m.requester = requester;
     // Voluntary recalls (requester == owner) are never forwarded:
-    // there is no third party to answer.
-    m.forwarded = cfg_.forwarding && requester != dst &&
-                  (t == MsgType::inval_rw_request ||
-                   t == MsgType::downgrade_request);
+    // there is no third party to answer. inval_ro_request sweeps are
+    // never forwarded either -- the home itself holds the data while
+    // the block is shared, so the requester is answered from home
+    // (the transition-table lint asserts this asymmetry).
+    bool fwd = cfg_.forwarding && requester != dst &&
+               (t == MsgType::inval_rw_request ||
+                t == MsgType::downgrade_request);
+    if (fwd && cfg_.forwardingPredicted && speculation_ &&
+        !speculation_->forwardOwnerTransfer(block, dst, requester,
+                                            want_writable)) {
+        // Predictor expects someone other than the requester to need
+        // the block next: keep the data flowing through home.
+        ++stats_.forwardsSuppressed;
+        fwd = false;
+    }
+    Entry &e = entry(block);
+    e.fwdData = fwd;
+    // The fwd_ack handshake closes the forwarded transfer; the legacy
+    // (pre-fix) protocol skips it and releases the entry on the
+    // owner's revision message alone -- the original race.
+    e.fwdAckPending = fwd && !cfg_.legacyForwarding;
+    if (fwd)
+        ++stats_.forwardsSent;
+    m.forwarded = fwd;
     m.wantWritable = want_writable;
     eq_.scheduleAfter(cfg_.protocolOccupancy,
                       [this, m]() { sendFn_(m); });
@@ -234,7 +258,7 @@ DirectoryController::handleMessage(const Msg &m)
             break;
         }
         const Msg &req = e.current;
-        if (cfg_.forwarding) {
+        if (e.fwdData) {
             // The former owner already answered the requester
             // directly (three-hop transfer); just settle the state.
             if (req.type == MsgType::get_ro_request) {
@@ -246,6 +270,14 @@ DirectoryController::handleMessage(const Msg &m)
                 e.sharers = 0;
                 e.owner = req.src;
             }
+            if (e.fwdAckPending) {
+                // Stay busy until the requester's fwd_ack confirms
+                // the forwarded data arrived; releasing now would let
+                // a queued request's invalidation race the owner's
+                // direct reply to the requester.
+                break;
+            }
+            e.fwdData = false;
             finish(m.block);
             break;
         }
@@ -290,13 +322,38 @@ DirectoryController::handleMessage(const Msg &m)
         enter(e, DirState::shared);
         e.sharers = bit(m.src) | bit(req.src);
         e.owner = invalid_node;
-        if (cfg_.forwarding) {
+        if (e.fwdData) {
             // Former owner already sent the data to the reader.
+            if (e.fwdAckPending)
+                break; // wait for the reader's fwd_ack
+            e.fwdData = false;
             finish(m.block);
             break;
         }
         respondAndFinish(MsgType::get_ro_response, req.src, m.block,
                          false);
+        break;
+      }
+
+      case MsgType::fwd_ack: {
+        Entry &e = entry(m.block);
+        cosmos_assert(e.busy && e.fwdAckPending,
+                      "stray fwd_ack at directory ", node_);
+        cosmos_assert(m.src == e.current.src,
+                      "fwd_ack from node ", m.src,
+                      " but the transaction's requester is ",
+                      e.current.src);
+        ++stats_.fwdAcks;
+        e.fwdAckPending = false;
+        if (e.pendingAcks == 0) {
+            // The owner's revision message already settled the entry;
+            // the ack was the last outstanding leg.
+            e.fwdData = false;
+            finish(m.block);
+        }
+        // Otherwise the ack overtook the owner's revision message
+        // (independent channels); the inval_rw_response /
+        // downgrade_response handler will settle state and finish.
         break;
       }
 
@@ -313,6 +370,8 @@ DirectoryController::serve(const Msg &m)
     e.current = m;
     e.genuineUpgrade = false;
     e.pendingAcks = 0;
+    e.fwdData = false;
+    e.fwdAckPending = false;
 
     switch (m.type) {
       case MsgType::get_ro_request:
@@ -461,6 +520,8 @@ DirectoryController::finish(Addr block)
 {
     Entry &e = entry(block);
     cosmos_assert(e.busy, "finish() on idle entry");
+    cosmos_assert(!e.fwdAckPending,
+                  "finish() while a fwd_ack is outstanding");
     if (e.waiting.empty()) {
         e.busy = false;
         return;

@@ -64,6 +64,26 @@ class DirectorySpeculation
      * read-modify-write action).
      */
     virtual bool grantExclusiveOnRead(Addr block, NodeId requester) = 0;
+
+    /**
+     * A recall of @p block held exclusive at @p owner is about to be
+     * sent on behalf of @p requester, and MachineConfig::
+     * forwardingPredicted asks the predictor to arbitrate the
+     * transfer shape. Return true to forward (owner answers the
+     * requester directly, three hops), false to fall back to the
+     * four-hop home reply. Both shapes are legal protocol, so a wrong
+     * answer costs only latency (§4.3's first recovery class).
+     */
+    virtual bool
+    forwardOwnerTransfer(Addr block, NodeId owner, NodeId requester,
+                         bool wantWritable)
+    {
+        (void)block;
+        (void)owner;
+        (void)requester;
+        (void)wantWritable;
+        return true;
+    }
 };
 
 /**
@@ -83,6 +103,8 @@ struct DirEntrySnapshot
     unsigned pendingAcks = 0;
     bool genuineUpgrade = false;
     bool recall = false;
+    bool fwdData = false;
+    bool fwdAckPending = false;
     Msg current{};
     std::vector<Msg> waiting;
 };
@@ -106,6 +128,14 @@ struct DirectoryStats
     std::uint64_t upgradePromotions = 0;
     std::uint64_t exclusiveGrants = 0; ///< speculative RMW grants
     std::uint64_t recalls = 0;         ///< voluntary owner recalls
+    /** Recalls sent as three-hop forwards (owner answers the
+     *  requester directly). */
+    std::uint64_t forwardsSent = 0;
+    /** Forward-eligible recalls the speculation hook demoted to
+     *  four-hop home replies (forwardingPredicted gating). */
+    std::uint64_t forwardsSuppressed = 0;
+    /** fwd_ack messages received closing three-hop transfers. */
+    std::uint64_t fwdAcks = 0;
     /** Entry-state transitions, counted by the state entered
      *  (index = DirState). */
     std::array<std::uint64_t, 3> stateEntries{};
@@ -188,6 +218,13 @@ class DirectoryController
         /// in-flight transaction is a voluntary owner recall with no
         /// requester to answer.
         bool recall = false;
+        /// the in-flight recall was forwarded: the former owner
+        /// answers the requester directly and the home only settles
+        /// state on the revision message.
+        bool fwdData = false;
+        /// still awaiting the requester's fwd_ack; the entry must not
+        /// finish() until it arrives.
+        bool fwdAckPending = false;
     };
 
     Entry &entry(Addr block);

@@ -17,6 +17,7 @@ receiverRole(MsgType t)
       case MsgType::inval_ro_response:
       case MsgType::inval_rw_response:
       case MsgType::downgrade_response:
+      case MsgType::fwd_ack:
         return Role::directory;
       case MsgType::get_ro_response:
       case MsgType::get_rw_response:
@@ -61,6 +62,7 @@ toString(MsgType t)
       case MsgType::inval_rw_response:  return "inval_rw_response";
       case MsgType::downgrade_request:  return "downgrade_request";
       case MsgType::downgrade_response: return "downgrade_response";
+      case MsgType::fwd_ack:            return "fwd_ack";
     }
     return "?";
 }

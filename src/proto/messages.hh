@@ -13,6 +13,13 @@
  *   inval_rw_request / inval_rw_response  invalidate + return an
  *                                         exclusive copy
  *   downgrade_request / downgrade_response exclusive -> shared
+ *
+ * One extension beyond the paper: fwd_ack, the requester-to-home
+ * acknowledgment that closes a three-hop forwarded transfer (§2.1
+ * forwarding). The former owner's direct data reply and the home's
+ * next invalidation travel on independent channels, so the home must
+ * keep the directory entry busy until the requester confirms the data
+ * arrived; fwd_ack is that confirmation.
  */
 
 #ifndef COSMOS_PROTO_MESSAGES_HH
@@ -41,10 +48,13 @@ enum class MsgType : std::uint8_t
     inval_rw_response,
     downgrade_request,
     downgrade_response,
+    /** Requester -> home: the forwarded three-hop data arrived; the
+     *  home may release the directory entry. */
+    fwd_ack,
 };
 
 /** Number of distinct message types. */
-constexpr unsigned num_msg_types = 12;
+constexpr unsigned num_msg_types = 13;
 
 /**
  * Which module receives a message of a given type.

@@ -77,6 +77,37 @@ TEST(ExperimentDeathTest, WarmupBeyondIterationsPanics)
     EXPECT_DEATH(runWorkload(cfg), "warm-up");
 }
 
+TEST(Experiment, ForwardingCountersAreDeterministicAndClosed)
+{
+    // Same config twice -> bit-identical timing and protocol totals,
+    // with forwarding's handshake closed (every forwarded recall
+    // produced exactly one fwd_ack by quiescence). Forwarding off ->
+    // all three counters stay zero. A diff between the two repeat
+    // runs would mean iteration/chunk order leaks into the
+    // directories' stats_ accounting.
+    RunConfig cfg;
+    cfg.app = "micro_migratory";
+    cfg.iterations = 8;
+    cfg.machine.forwarding = true;
+    auto a = runWorkload(cfg);
+    auto b = runWorkload(cfg);
+    EXPECT_EQ(a.finalTime, b.finalTime);
+    EXPECT_EQ(a.totals.forwardsSent, b.totals.forwardsSent);
+    EXPECT_EQ(a.totals.fwdAcks, b.totals.fwdAcks);
+    EXPECT_EQ(a.totals.invalsSent, b.totals.invalsSent);
+    EXPECT_EQ(a.totals.readMisses, b.totals.readMisses);
+    EXPECT_EQ(a.totals.writeMisses, b.totals.writeMisses);
+    EXPECT_GT(a.totals.forwardsSent, 0u);
+    EXPECT_EQ(a.totals.fwdAcks, a.totals.forwardsSent);
+    EXPECT_EQ(a.totals.forwardsSuppressed, 0u);
+
+    cfg.machine.forwarding = false;
+    auto c = runWorkload(cfg);
+    EXPECT_EQ(c.totals.forwardsSent, 0u);
+    EXPECT_EQ(c.totals.forwardsSuppressed, 0u);
+    EXPECT_EQ(c.totals.fwdAcks, 0u);
+}
+
 TEST(Experiment, CustomWorkloadInstance)
 {
     RunConfig cfg;

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <iterator>
 #include <set>
 #include <string>
 #include <vector>
@@ -207,6 +209,94 @@ TEST(Explore, ThreeNodeSpaceIsCleanWithGoldenCounts)
     EXPECT_TRUE(res.table.nondeterministicKeys().empty());
 }
 
+TEST(Explore, ForwardingTwoNodeSpaceIsCleanWithGoldenCounts)
+{
+    model::ExploreOptions opt;
+    opt.mc = twoNodes();
+    opt.mc.forwarding = true;
+    const model::ExploreResult res = model::explore(opt);
+
+    EXPECT_TRUE(res.clean());
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(res.states, 78u);
+    EXPECT_EQ(res.transitions, 142u);
+    EXPECT_EQ(res.maxDepth, 10u);
+    EXPECT_EQ(res.failedSteps, 0u);
+    EXPECT_TRUE(res.table.nondeterministicKeys().empty());
+}
+
+TEST(Explore, ForwardingThreeNodeSpaceIsCleanWithGoldenCounts)
+{
+    // The space where the pre-fwd_ack protocol races (three distinct
+    // parties: home, owner, requester). Closure with zero violations
+    // is the proof of the forwarding fix.
+    model::ExploreOptions opt;
+    opt.mc = threeNodes();
+    opt.mc.forwarding = true;
+    const model::ExploreResult res = model::explore(opt);
+
+    EXPECT_TRUE(res.clean());
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(res.states, 883u);
+    EXPECT_EQ(res.transitions, 2149u);
+    EXPECT_EQ(res.maxDepth, 17u);
+    EXPECT_EQ(res.failedSteps, 0u);
+    EXPECT_TRUE(res.table.nondeterministicKeys().empty());
+}
+
+TEST(Explore, ForwardingDowngradePolicyIsClean)
+{
+    model::ExploreOptions opt;
+    opt.mc = threeNodes();
+    opt.mc.forwarding = true;
+    opt.mc.policy = OwnerReadPolicy::downgrade;
+    const model::ExploreResult res = model::explore(opt);
+    EXPECT_TRUE(res.clean());
+    EXPECT_TRUE(res.table.nondeterministicKeys().empty());
+}
+
+TEST(Explore, LegacyForwardingTwoNodesCannotRace)
+{
+    // The three-hop race needs home, owner, and requester to be
+    // three different nodes: with two nodes the requester is always
+    // the home or the owner, so even the ack-less legacy protocol
+    // closes cleanly. The negative leg below must therefore run at
+    // three nodes -- a 2-node "proof" of the fix proves nothing.
+    model::ExploreOptions opt;
+    opt.mc = twoNodes();
+    opt.mc.forwarding = true;
+    opt.mc.legacyForwarding = true;
+    const model::ExploreResult res = model::explore(opt);
+    EXPECT_TRUE(res.clean());
+}
+
+TEST(Explore, LegacyForwardingThreeNodesReproducesTheRace)
+{
+    // The negative oracle: without the fwd_ack the directory reopens
+    // the entry on the owner's revision message, its next
+    // invalidation overtakes the owner's in-flight data reply on a
+    // disjoint channel, and the requester sees an invalidation for a
+    // block it is still waiting on.
+    model::ExploreOptions opt;
+    opt.mc = threeNodes();
+    opt.mc.forwarding = true;
+    opt.mc.legacyForwarding = true;
+    const model::ExploreResult res = model::explore(opt);
+
+    EXPECT_FALSE(res.clean());
+    EXPECT_TRUE(res.complete); // traps, not aborts
+    EXPECT_GT(res.failedSteps, 0u);
+    EXPECT_TRUE(hasViolation(res, check::ViolationKind::assertion));
+    ASSERT_FALSE(res.counterexamples.empty());
+    bool requesterPanicked = false;
+    for (const auto &ce : res.counterexamples) {
+        if (ce.violation.detail.find("state wait_") !=
+            std::string::npos)
+            requesterPanicked = true;
+    }
+    EXPECT_TRUE(requesterPanicked);
+}
+
 TEST(Explore, DowngradePolicyIsClean)
 {
     model::ExploreOptions opt;
@@ -332,6 +422,221 @@ TEST(Explore, TrappedAssertionsDoNotAbortExploration)
 }
 
 // ---------------------------------------------------------------------
+// Replay regression seed: the model checker's original forwarding
+// counterexample
+
+/** One step of a pinned schedule: a processor issue or a delivery. */
+struct SeedStep
+{
+    bool issue;
+    NodeId node;          ///< issuing node (issue)
+    bool write;           ///< issue kind
+    NodeId src, dst;      ///< channel (deliver)
+    proto::MsgType type;  ///< delivered message (deliver)
+};
+
+constexpr SeedStep
+seedIssue(NodeId node, bool write)
+{
+    return {true, node, write, 0, 0, proto::MsgType::get_ro_request};
+}
+
+constexpr SeedStep
+seedDeliver(NodeId src, NodeId dst, proto::MsgType type)
+{
+    return {false, 0, false, src, dst, type};
+}
+
+/**
+ * The first counterexample `cosmos model --forwarding
+ * --legacy-forwarding --nodes 3` ever produced, pinned verbatim: the
+ * timed simulator cannot reproduce it (uniform latencies keep the
+ * home's next invalidation two hops behind the owner's data reply),
+ * so the regression seed replays through the model Stepper, which
+ * explores delivery orders the network would need adversarial timing
+ * to produce.
+ *
+ * node 2 owns the block; node 1's read is queued; node 0's write is
+ * queued behind it. The owner's forwarded data reply to node 1 and
+ * the revision home race: legacy reopens the entry on the revision,
+ * serves node 0's write, and its inval_ro_request reaches node 1
+ * while the forwarded data is still in flight.
+ */
+constexpr SeedStep legacy_race_schedule[] = {
+    seedIssue(1, false),
+    seedIssue(2, true),
+    seedDeliver(2, 0, proto::MsgType::get_rw_request),
+    seedDeliver(0, 2, proto::MsgType::get_rw_response),
+    seedDeliver(1, 0, proto::MsgType::get_ro_request),
+    seedIssue(0, true),
+    seedDeliver(0, 2, proto::MsgType::inval_rw_request),
+    seedDeliver(2, 0, proto::MsgType::inval_rw_response),
+    // Legacy only: the entry reopened above, so node 0's queued
+    // write was served and this invalidation is in flight. Under
+    // the fixed protocol the entry is still awaiting node 1's
+    // fwd_ack and this message does not exist.
+    seedDeliver(0, 1, proto::MsgType::inval_ro_request),
+};
+
+/** Find @p step among the enabled actions of @p s, or report why
+ *  it is not enabled. */
+testing::AssertionResult
+findSeedAction(const model::GlobalState &s,
+               const model::ModelConfig &mc, const SeedStep &step,
+               model::Action &out)
+{
+    std::vector<model::Action> actions;
+    model::enumerateActions(s, mc, actions);
+    for (const model::Action &a : actions) {
+        if (step.issue) {
+            const auto want = step.write
+                                  ? model::Action::Kind::issue_write
+                                  : model::Action::Kind::issue_read;
+            if (a.kind == want && a.node == step.node) {
+                out = a;
+                return testing::AssertionSuccess();
+            }
+        } else if (a.kind == model::Action::Kind::deliver &&
+                   a.src == step.src && a.dst == step.dst &&
+                   a.msg.type == step.type) {
+            out = a;
+            return testing::AssertionSuccess();
+        }
+    }
+    return testing::AssertionFailure()
+           << "schedule step not enabled (" << actions.size()
+           << " actions)";
+}
+
+TEST(Replay, LegacyRaceSeedStillTripsTheOracle)
+{
+    model::ModelConfig mc = threeNodes();
+    mc.forwarding = true;
+    mc.legacyForwarding = true;
+    model::Stepper stepper(mc);
+
+    model::GlobalState s = model::Stepper::initialState();
+    model::Stepper::Result r;
+    const std::size_t steps = std::size(legacy_race_schedule);
+    for (std::size_t i = 0; i < steps; ++i) {
+        model::Action a;
+        ASSERT_TRUE(
+            findSeedAction(s, mc, legacy_race_schedule[i], a))
+            << "step " << i;
+        stepper.step(s, a, r);
+        if (i + 1 < steps) {
+            ASSERT_FALSE(r.failed)
+                << "step " << i << ": " << r.failureMsg;
+            s = r.next;
+        }
+    }
+    // The final delivery is the invalidation overtaking the
+    // forwarded data: the requester's controller must trap.
+    EXPECT_TRUE(r.failed);
+    EXPECT_NE(r.failureMsg.find("state wait_ro"), std::string::npos)
+        << r.failureMsg;
+}
+
+TEST(Replay, LegacyRaceSeedIsClosedByTheAckProtocol)
+{
+    // Same schedule, fixed protocol: after the owner's revision
+    // lands (step 7) the entry must still be busy awaiting node 1's
+    // fwd_ack, the racing invalidation must not exist, and draining
+    // the remaining messages must reach quiescence cleanly -- the
+    // delayed ack serves the queued write only after the handshake
+    // closes.
+    model::ModelConfig mc = threeNodes();
+    mc.forwarding = true;
+    model::Stepper stepper(mc);
+
+    model::GlobalState s = model::Stepper::initialState();
+    model::Stepper::Result r;
+    const std::size_t prefix = std::size(legacy_race_schedule) - 1;
+    for (std::size_t i = 0; i < prefix; ++i) {
+        model::Action a;
+        ASSERT_TRUE(
+            findSeedAction(s, mc, legacy_race_schedule[i], a))
+            << "step " << i;
+        stepper.step(s, a, r);
+        ASSERT_FALSE(r.failed)
+            << "step " << i << ": " << r.failureMsg;
+        s = r.next;
+    }
+
+    // Block 0 is homed at node 0; its entry holds the transfer open.
+    EXPECT_TRUE(s.dir[0].busy);
+    EXPECT_TRUE(s.dir[0].fwdAckPending);
+    std::vector<model::Action> actions;
+    model::enumerateActions(s, mc, actions);
+    model::Action dataDeliver;
+    bool sawData = false;
+    for (const model::Action &a : actions) {
+        if (a.kind != model::Action::Kind::deliver)
+            continue;
+        // The racing invalidation of the legacy schedule must not be
+        // deliverable anywhere.
+        EXPECT_NE(a.msg.type, proto::MsgType::inval_ro_request)
+            << a.format();
+        // The forwarded data (owner -> requester) is still in
+        // flight; the ack does not exist until it lands.
+        EXPECT_NE(a.msg.type, proto::MsgType::fwd_ack) << a.format();
+        if (a.src == 2 && a.dst == 1) {
+            sawData = true;
+            dataDeliver = a;
+        }
+    }
+    ASSERT_TRUE(sawData);
+
+    // Landing the forwarded data makes the requester emit fwd_ack.
+    stepper.step(s, dataDeliver, r);
+    ASSERT_FALSE(r.failed) << r.failureMsg;
+    s = r.next;
+    EXPECT_TRUE(s.dir[0].busy);
+    EXPECT_TRUE(s.dir[0].fwdAckPending);
+    actions.clear();
+    model::enumerateActions(s, mc, actions);
+    model::Action ackDeliver;
+    bool sawAck = false;
+    for (const model::Action &a : actions) {
+        if (a.kind == model::Action::Kind::deliver &&
+            a.msg.type == proto::MsgType::fwd_ack) {
+            sawAck = true;
+            ackDeliver = a;
+        }
+    }
+    ASSERT_TRUE(sawAck);
+
+    // Deliver the delayed ack first, then drain to quiescence.
+    stepper.step(s, ackDeliver, r);
+    ASSERT_FALSE(r.failed) << r.failureMsg;
+    s = r.next;
+    for (int guard = 0; guard < 64; ++guard) {
+        if (model::isQuiescent(s, mc))
+            break;
+        actions.clear();
+        model::enumerateActions(s, mc, actions);
+        // Drain deliveries only: issue_* actions would inject fresh
+        // traffic and keep the system away from quiescence.
+        const auto it = std::find_if(
+            actions.begin(), actions.end(),
+            [](const model::Action &a) {
+                return a.kind == model::Action::Kind::deliver;
+            });
+        ASSERT_NE(it, actions.end()); // no deadlock
+        stepper.step(s, *it, r);
+        ASSERT_FALSE(r.failed) << r.failureMsg;
+        s = r.next;
+    }
+    EXPECT_TRUE(model::isQuiescent(s, mc));
+    // Every issued access completed: node 0's queued write won the
+    // block last in this drain order or earlier -- either way the
+    // protocol settled with a single writer or no copies, which
+    // quiescence plus the explorer's invariants already guarantee.
+    EXPECT_FALSE(s.dir[0].busy);
+    EXPECT_FALSE(s.dir[0].fwdAckPending);
+}
+
+// ---------------------------------------------------------------------
 // Counterexample replay through the real simulator
 
 TEST(Counterexample, FormatHasHeaderAndSteps)
@@ -347,8 +652,29 @@ TEST(Counterexample, FormatHasHeaderAndSteps)
     EXPECT_NE(text.find("# cosmos-model-counterexample-v1"),
               std::string::npos);
     EXPECT_NE(text.find("# config nodes=2"), std::string::npos);
+    EXPECT_NE(text.find("legacy_forwarding=0"), std::string::npos);
     EXPECT_NE(text.find("inject_ignore_inval=1"), std::string::npos);
     EXPECT_NE(text.find("step 0 "), std::string::npos);
+}
+
+TEST(Counterexample, LegacyForwardingRoundTripsThroughLoader)
+{
+    model::ExploreOptions opt;
+    opt.mc = threeNodes();
+    opt.mc.forwarding = true;
+    opt.mc.legacyForwarding = true;
+    const model::ExploreResult res = model::explore(opt);
+    ASSERT_FALSE(res.counterexamples.empty());
+
+    const std::string path =
+        testing::TempDir() + "legacy_counterexample.txt";
+    ASSERT_TRUE(model::writeCounterexample(
+        path, opt.mc, res.counterexamples.front()));
+    const check::FuzzCase c = check::loadCounterexample(path);
+    EXPECT_EQ(c.cfg.numNodes, 3u);
+    EXPECT_TRUE(c.cfg.forwarding);
+    EXPECT_TRUE(c.cfg.legacyForwarding);
+    std::remove(path.c_str());
 }
 
 TEST(Counterexample, ReplaysThroughRealSimulatorAndReproduces)
@@ -407,6 +733,43 @@ TEST(Lint, CleanRunFlagsOnlyDeadTableSpace)
             busyRecallUnreachable = true;
     }
     EXPECT_TRUE(busyRecallUnreachable);
+}
+
+TEST(Lint, ForwardingAsymmetryHoldsInForwardedSpaces)
+{
+    // DirectoryController::forward() marks only inval_rw/downgrade
+    // recalls forwarded: inval_ro sweeps target shared blocks, whose
+    // data the home itself holds, so a cache answering one with a
+    // data response would bypass the fwd_ack handshake entirely. The
+    // lint watches for exactly that emission; a clean forwarding
+    // exploration must produce zero findings of the kind.
+    model::ExploreOptions opt;
+    opt.mc = threeNodes();
+    opt.mc.forwarding = true;
+    const model::ExploreResult res = model::explore(opt);
+    ASSERT_TRUE(res.clean());
+    for (const model::LintFinding &f : res.table.lint()) {
+        EXPECT_NE(f.kind,
+                  model::LintFinding::Kind::forwarding_asymmetry)
+            << f.detail;
+    }
+
+    // The cache rows that do emit forwarded data carry the "fwd"
+    // context on recall inputs, never on the ro sweep.
+    bool sawForwardedRecallRow = false;
+    for (const auto &[key, entry] : res.table.entries()) {
+        if (key.module == model::Module::cache &&
+            key.context.find("fwd") != std::string::npos) {
+            EXPECT_NE(key.input,
+                      static_cast<std::uint8_t>(
+                          proto::MsgType::inval_ro_request))
+                << key.format();
+            if (key.input == static_cast<std::uint8_t>(
+                                 proto::MsgType::inval_rw_request))
+                sawForwardedRecallRow = true;
+        }
+    }
+    EXPECT_TRUE(sawForwardedRecallRow);
 }
 
 TEST(Lint, TableEntriesCoverBothModules)

@@ -226,6 +226,56 @@ TEST(OnlineAccelerator, ConfidenceGatingSuppressesActions)
     EXPECT_GT(gated.run.totals.exclusiveGrants, 0u);
 }
 
+TEST(ForwardGate, PredictionGatesThreeHopForwarding)
+{
+    // micro_migratory hands the block around a stable ring, so the
+    // confidence streak builds quickly: a gated run must still
+    // forward most transfers, suppress some early (cold predictor),
+    // and keep the fwd_ack handshake closed either way.
+    harness::RunConfig cfg;
+    cfg.app = "micro_migratory";
+    cfg.checkInvariants = true;
+    cfg.machine.forwarding = true;
+    cfg.machine.forwardingPredicted = true;
+
+    accel::OnlineOptions opts;
+    opts.enableReplyExclusive = false;
+    opts.enableVoluntaryRecall = false;
+    opts.enableForwardGate = true;
+    opts.minConfidence = 2;
+    const auto acc = harness::runAccelerated(cfg, opts);
+
+    EXPECT_GT(acc.accel.fwdQueries, 0u);
+    EXPECT_GT(acc.accel.fwdGranted, 0u);
+    EXPECT_LT(acc.accel.fwdGranted, acc.accel.fwdQueries);
+    EXPECT_EQ(acc.run.totals.forwardsSent, acc.accel.fwdGranted);
+    EXPECT_EQ(acc.run.totals.forwardsSuppressed,
+              acc.accel.fwdQueries - acc.accel.fwdGranted);
+    EXPECT_EQ(acc.run.totals.fwdAcks, acc.run.totals.forwardsSent);
+}
+
+TEST(ForwardGate, DisabledGateForwardsEverything)
+{
+    // forwardingPredicted consults the hook, but with the gate
+    // option off the accelerator always answers "forward": the run
+    // must match plain --forwarding exactly.
+    harness::RunConfig cfg;
+    cfg.app = "micro_migratory";
+    cfg.checkInvariants = false;
+    cfg.machine.forwarding = true;
+    const auto base = harness::runWorkload(cfg);
+
+    cfg.machine.forwardingPredicted = true;
+    accel::OnlineOptions opts;
+    opts.enableReplyExclusive = false;
+    opts.enableVoluntaryRecall = false;
+    const auto acc = harness::runAccelerated(cfg, opts);
+    EXPECT_EQ(acc.run.finalTime, base.finalTime);
+    EXPECT_EQ(acc.run.totals.forwardsSent, base.totals.forwardsSent);
+    EXPECT_EQ(acc.run.totals.forwardsSuppressed, 0u);
+    EXPECT_EQ(acc.accel.fwdQueries, 0u);
+}
+
 TEST(OnlineAccelerator, ReportsLivePredictorAccuracy)
 {
     harness::RunConfig cfg;

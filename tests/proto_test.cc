@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "proto/invariants.hh"
@@ -81,6 +82,8 @@ TEST(Messages, ReceiverRoleSplitsRequestsAndResponses)
     EXPECT_EQ(receiverRole(MsgType::inval_rw_response), Role::directory);
     EXPECT_EQ(receiverRole(MsgType::downgrade_response),
               Role::directory);
+    EXPECT_EQ(receiverRole(MsgType::fwd_ack), Role::directory);
+    EXPECT_FALSE(isRequest(MsgType::fwd_ack));
 
     EXPECT_EQ(receiverRole(MsgType::get_ro_response), Role::cache);
     EXPECT_EQ(receiverRole(MsgType::get_rw_response), Role::cache);
@@ -433,19 +436,30 @@ TEST(Forwarding, WriteMissTakesThreeHops)
     EXPECT_EQ(m.cache(2).state(block), LineState::invalid);
     EXPECT_EQ(m.directory(0).owner(block), 1);
 
-    ASSERT_EQ(col.seen.size(), 4u);
+    // request, recall, direct data reply, revision home, fwd_ack.
+    ASSERT_EQ(col.seen.size(), 5u);
     EXPECT_EQ(col.seen[0].msg.type, MsgType::get_rw_request);
     EXPECT_EQ(col.seen[1].msg.type, MsgType::inval_rw_request);
-    // The data response comes from the *owner*, not the home.
+    // The data response comes from the *owner*, not the home, and is
+    // marked forwarded so the requester closes the transfer with a
+    // fwd_ack to home.
     bool saw_direct = false;
+    bool saw_ack = false;
     for (const auto &s : col.seen) {
         if (s.msg.type == MsgType::get_rw_response) {
             EXPECT_EQ(s.msg.src, 2);
             EXPECT_EQ(s.msg.dst, 1);
+            EXPECT_TRUE(s.msg.forwarded);
             saw_direct = true;
+        }
+        if (s.msg.type == MsgType::fwd_ack) {
+            EXPECT_EQ(s.msg.src, 1);
+            EXPECT_EQ(s.msg.dst, 0);
+            saw_ack = true;
         }
     }
     EXPECT_TRUE(saw_direct);
+    EXPECT_TRUE(saw_ack);
     EXPECT_TRUE(checkCoherence(m).empty());
 }
 
@@ -492,6 +506,105 @@ TEST(Forwarding, VoluntaryRecallIsNotForwarded)
     m.eventQueue().run();
     EXPECT_EQ(m.directory(0).state(block), DirState::idle);
     EXPECT_EQ(m.cache(2).state(block), LineState::invalid);
+    EXPECT_TRUE(checkCoherence(m).empty());
+}
+
+/** Observer that runs a callback at every delivery (probes fire
+ *  before the handler, so the callback sees pre-handling state). */
+class DeliveryHook : public MsgObserver
+{
+  public:
+    std::function<void(const Msg &)> fn;
+
+    void
+    onMessage(const Msg &m, Role, int, Tick) override
+    {
+        if (fn)
+            fn(m);
+    }
+};
+
+TEST(Forwarding, VoluntaryRecallDeniedWhileAwaitingAck)
+{
+    // The fwd_ack keeps the directory entry busy after the owner's
+    // revision message lands, so a voluntary recall racing the ack
+    // must be refused -- the entry only reopens once the requester
+    // confirmed receipt of the forwarded data.
+    auto cfg = smallMachine();
+    cfg.forwarding = true;
+    Machine m(cfg);
+    const Addr block = blockHomedAt(m, 0);
+    access(m, 2, block, true);
+
+    DeliveryHook hook;
+    bool sawAck = false;
+    bool recallDenied = false;
+    hook.fn = [&](const Msg &msg) {
+        if (msg.type == MsgType::fwd_ack && !sawAck) {
+            sawAck = true;
+            // Observed at delivery, before the directory handles the
+            // ack: the entry is still busy awaiting exactly this
+            // receipt (the owner's revision already arrived -- it
+            // left two hops earlier).
+            recallDenied = !m.directory(0).voluntaryRecall(block);
+        }
+    };
+    m.addObserver(&hook);
+    access(m, 1, block, true);
+    EXPECT_TRUE(sawAck);
+    EXPECT_TRUE(recallDenied);
+    EXPECT_EQ(m.cache(1).state(block), LineState::read_write);
+    EXPECT_TRUE(checkCoherence(m).empty());
+
+    // With the handshake closed the same recall goes through.
+    EXPECT_TRUE(m.directory(0).voluntaryRecall(block));
+    m.eventQueue().run();
+    EXPECT_EQ(m.directory(0).state(block), DirState::idle);
+    EXPECT_TRUE(checkCoherence(m).empty());
+}
+
+TEST(Forwarding, QueuedRequestWaitsForDelayedAck)
+{
+    // A request queued behind a forwarded transfer must not be
+    // served until the requester's fwd_ack closes the transfer: the
+    // directory drains its waiting queue from the ack handler, never
+    // from the revision handler.
+    auto cfg = smallMachine();
+    cfg.forwarding = true;
+    Machine m(cfg);
+    Collector col;
+    m.addObserver(&col);
+    const Addr block = blockHomedAt(m, 0);
+    access(m, 2, block, true);
+    col.seen.clear();
+
+    int done = 0;
+    m.cache(1).access(block, true, [&]() { ++done; });
+    m.cache(3).access(block, true, [&]() { ++done; });
+    m.eventQueue().run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(m.cache(3).state(block), LineState::read_write);
+    EXPECT_EQ(m.directory(0).owner(block), 3);
+
+    // Both hand-offs were forwarded (2 -> 1, then 1 -> 3), so two
+    // acks; node 3's recall (the second inval_rw_request into node 1)
+    // must only leave home after node 1's ack arrived there.
+    std::size_t firstAck = col.seen.size();
+    std::size_t secondRecall = col.seen.size();
+    std::size_t acks = 0;
+    for (std::size_t i = 0; i < col.seen.size(); ++i) {
+        const auto &s = col.seen[i];
+        if (s.msg.type == MsgType::fwd_ack) {
+            if (++acks == 1)
+                firstAck = i;
+        }
+        if (s.msg.type == MsgType::inval_rw_request &&
+            s.msg.dst == 1) {
+            secondRecall = i;
+        }
+    }
+    EXPECT_EQ(acks, 2u);
+    EXPECT_LT(firstAck, secondRecall);
     EXPECT_TRUE(checkCoherence(m).empty());
 }
 

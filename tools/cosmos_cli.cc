@@ -33,10 +33,21 @@
  *                    simulator's FIFO contract)
  *   --max-states N   abort (as a liveness failure) past N states
  *   --forwarding     enable SGI-Origin-style request forwarding
- *                    (three-hop; see ARCHITECTURE.md "Protocol
- *                    assumptions" for the FIFO-channel requirement
- *                    and the direct-reply-vs-next-invalidation race
- *                    this mode is subject to)
+ *                    (three-hop). Only inval_rw/downgrade recalls
+ *                    are forwarded -- inval_ro sweeps never are,
+ *                    since the home itself holds the data while the
+ *                    block is shared. The transfer is closed by a
+ *                    requester->home fwd_ack that keeps the
+ *                    directory entry busy until the forwarded data
+ *                    arrived; the full state space closes with zero
+ *                    violations (see ARCHITECTURE.md "Protocol
+ *                    assumptions")
+ *   --legacy-forwarding
+ *                    (with --forwarding) drop the fwd_ack handshake
+ *                    and release the directory entry on the owner's
+ *                    revision message alone -- the pre-fix protocol.
+ *                    Negative-testing oracle: the checker must find
+ *                    the direct-reply-vs-next-invalidation race
  *   --inject-ignore-inval N
  *                    plant the lost-invalidation bug (the checker
  *                    must find an SWMR counterexample)
@@ -189,6 +200,7 @@ struct CliArgs
     unsigned modelReorder = 0;
     std::size_t modelMaxStates = 1u << 20;
     bool forwarding = false;
+    bool legacyForwarding = false;
     std::string counterexampleOut;
 };
 
@@ -214,7 +226,7 @@ usage()
         "[--inject-ignore-inval N] "
         "[--replay-model FILE] [--out FILE]\n"
         "       cosmos model [--nodes N] [--blocks N] [--reorder K] "
-        "[--max-states N] [--forwarding]\n"
+        "[--max-states N] [--forwarding] [--legacy-forwarding]\n"
         "              [--policy half-migratory|downgrade] "
         "[--inject-ignore-inval N] [--out FILE]\n"
         "              [--counterexample-out FILE]\n");
@@ -305,6 +317,8 @@ parse(int argc, char **argv)
                                                        nullptr, 0));
         } else if (flag == "--forwarding") {
             args.forwarding = true;
+        } else if (flag == "--legacy-forwarding") {
+            args.legacyForwarding = true;
         } else if (flag == "--counterexample-out") {
             args.counterexampleOut = value();
         } else {
@@ -753,6 +767,7 @@ cmdModel(const CliArgs &args)
     opt.mc.reorder = args.modelReorder;
     opt.mc.policy = args.policy;
     opt.mc.forwarding = args.forwarding;
+    opt.mc.legacyForwarding = args.legacyForwarding;
     opt.mc.ignoreInvalEvery = args.injectIgnoreInval;
     opt.maxStates = args.modelMaxStates;
     opt.mc.validate();
