@@ -22,7 +22,14 @@ Schemas:
                   consistent with the violation list and completeness,
                   a transition table whose entries carry sorted
                   module/state/input keys with at least one outcome
-                  each, and lint findings with known kinds
+                  each, lint findings with known kinds, and a
+                  "consistent" verdict agreeing with the
+                  declared-table consistency diff
+    lint          a cosmos-lint-v1 document from `cosmos lint --out`:
+                  the analyzed configuration, the planted mutation (or
+                  "none"), row counts, findings with known kinds and
+                  file:line row provenance, and a "clean" verdict
+                  consistent with the finding list
     forge         a cosmos-forge-v1 document from `cosmos run --forge
                   ... --forge-out`: the forge parameters, replay
                   config, and one accuracy row per ground-truth
@@ -170,6 +177,9 @@ MODEL_ENTRY_KEYS = {"module", "state", "input", "context", "hits",
 LINT_KINDS = {"unreachable_state", "dead_input", "nondeterministic",
               "forwarding_asymmetry"}
 
+CONSISTENCY_KINDS = {"undeclared_transition", "unreachable_reached",
+                     "outcome_mismatch"}
+
 
 def check_model(doc):
     if not isinstance(doc, dict):
@@ -234,6 +244,82 @@ def check_model(doc):
                     f"{f.get('kind')!r}")
         if not isinstance(f.get("detail"), str):
             return f"lint finding {i} missing \"detail\""
+    if not isinstance(doc.get("consistent"), bool):
+        return "missing boolean \"consistent\""
+    consistency = doc.get("consistency")
+    if not isinstance(consistency, list):
+        return "missing \"consistency\" array"
+    if doc["consistent"] != (len(consistency) == 0):
+        return ("\"consistent\" verdict disagrees with the "
+                "consistency finding list")
+    for i, f in enumerate(consistency):
+        if not isinstance(f, dict):
+            return f"consistency finding {i} is not an object"
+        if f.get("kind") not in CONSISTENCY_KINDS:
+            return (f"consistency finding {i} has unknown kind "
+                    f"{f.get('kind')!r}")
+        if f.get("module") not in ("cache", "directory"):
+            return (f"consistency finding {i} has unknown module "
+                    f"{f.get('module')!r}")
+        if not isinstance(f.get("detail"), str):
+            return f"consistency finding {i} missing \"detail\""
+    return None
+
+
+LINT_STATIC_KINDS = {"missing_row", "overlapping_rows",
+                     "dropped_response", "out_of_order_consume",
+                     "forwarding_asymmetry"}
+
+LINT_CONFIG_KEYS = {"nodes", "forwarding", "legacy_forwarding",
+                    "owner_read_policy", "cache_capacity_blocks"}
+
+
+def check_lint(doc):
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if doc.get("format") != "cosmos-lint-v1":
+        return f"unexpected format field: {doc.get('format')!r}"
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        return "missing \"config\" object"
+    missing = LINT_CONFIG_KEYS - config.keys()
+    if missing:
+        return f"config missing keys: {sorted(missing)}"
+    mutation = doc.get("mutation")
+    if mutation not in LINT_STATIC_KINDS | {"none"}:
+        return f"unknown mutation {mutation!r}"
+    for key in ("rows", "unreachable_rows"):
+        if not (isinstance(doc.get(key), int) and doc[key] >= 0):
+            return f"missing or negative integer {key!r}"
+    if doc["rows"] <= 0:
+        return "the analyzed table has no live rows"
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        return "missing \"findings\" array"
+    if not isinstance(doc.get("clean"), bool):
+        return "missing boolean \"clean\""
+    if doc["clean"] != (len(findings) == 0):
+        return "\"clean\" verdict disagrees with the finding list"
+    for i, f in enumerate(findings):
+        if not isinstance(f, dict):
+            return f"finding {i} is not an object"
+        if f.get("kind") not in LINT_STATIC_KINDS:
+            return f"finding {i} has unknown kind {f.get('kind')!r}"
+        if f.get("role") not in ("cache", "directory"):
+            return f"finding {i} has unknown role {f.get('role')!r}"
+        if not isinstance(f.get("detail"), str):
+            return f"finding {i} missing \"detail\""
+        rows = f.get("rows")
+        if not isinstance(rows, list):
+            return f"finding {i} missing \"rows\" array"
+        for j, r in enumerate(rows):
+            if not isinstance(r, dict) or \
+                    not isinstance(r.get("where"), str) or \
+                    not isinstance(r.get("row"), str):
+                return f"finding {i} row ref {j} is malformed"
+            if ":" not in r["where"]:
+                return (f"finding {i} row ref {j} carries no "
+                        f"file:line provenance: {r['where']!r}")
     return None
 
 
@@ -427,7 +513,7 @@ def main():
     ap.add_argument("--schema", default="any",
                     choices=["any", "metrics", "chrome-trace",
                              "fuzz", "model", "forge", "bench",
-                             "forwarding"])
+                             "forwarding", "lint"])
     ap.add_argument("files", nargs="+", metavar="FILE")
     args = ap.parse_args()
 
@@ -453,6 +539,8 @@ def main():
             error = check_bench(doc)
         elif args.schema == "forwarding":
             error = check_forwarding(doc)
+        elif args.schema == "lint":
+            error = check_lint(doc)
         if error:
             print(f"check_json: {path}: {error}", file=sys.stderr)
             return 1

@@ -103,8 +103,10 @@ python3 scripts/check_json.py --schema model \
 grep -q '"states": 48,' artifacts/model_2n.json
 grep -q '"transitions": 86,' artifacts/model_2n.json
 grep -q '"nondeterministic": 0' artifacts/model_2n.json
+grep -q '"consistent": true' artifacts/model_2n.json
 grep -q '"states": 488,' artifacts/model_3n.json
 grep -q '"transitions": 1152,' artifacts/model_3n.json
+grep -q '"consistent": true' artifacts/model_3n.json
 if ./build/tools/cosmos model --inject-ignore-inval 1 \
     --out artifacts/model_planted_bug.json \
     --counterexample-out artifacts/model_counterexample.txt \
@@ -147,11 +149,14 @@ python3 scripts/check_json.py --schema model \
 grep -q '"states": 78,' artifacts/model_2n_fwd.json
 grep -q '"transitions": 142,' artifacts/model_2n_fwd.json
 grep -q '"nondeterministic": 0' artifacts/model_2n_fwd.json
+grep -q '"consistent": true' artifacts/model_2n_fwd.json
 grep -q '"states": 883,' artifacts/model_3n_fwd.json
 grep -q '"transitions": 2149,' artifacts/model_3n_fwd.json
 grep -q '"nondeterministic": 0' artifacts/model_3n_fwd.json
+grep -q '"consistent": true' artifacts/model_3n_fwd.json
 grep -q '"states": 276396,' artifacts/model_3n2b_fwd.json
 grep -q '"transitions": 971246,' artifacts/model_3n2b_fwd.json
+grep -q '"consistent": true' artifacts/model_3n2b_fwd.json
 if ./build/tools/cosmos model --forwarding --legacy-forwarding \
     --nodes 3 --out artifacts/model_legacy_fwd.json \
     --counterexample-out artifacts/legacy_counterexample.txt \
@@ -166,6 +171,42 @@ grep -q 'state wait_' artifacts/model_legacy_fwd.json
 grep -q 'legacy_forwarding=1' artifacts/legacy_counterexample.txt
 echo "== forwarding model-check OK (78/883/276396-state closures" \
      "clean, legacy race caught)"
+
+# Static protocol lint: the declared transition table -- the single
+# source of truth the controllers dispatch through -- must analyze
+# clean under every shipped variant (completeness, determinism,
+# message conservation, channel discipline, forwarding asymmetry).
+# Negative legs: each planted table mutation MUST trip the lint pass
+# built for its bug class and fail the run -- proving the analyzer
+# has teeth, not just green runs.
+./build/tools/cosmos lint --out artifacts/lint_base.json > /dev/null
+./build/tools/cosmos lint --forwarding --capacity 1 \
+    --out artifacts/lint_fwd.json > /dev/null
+./build/tools/cosmos lint --forwarding --legacy-forwarding \
+    --out artifacts/lint_legacy.json > /dev/null
+./build/tools/cosmos lint --policy downgrade --forwarding \
+    --out artifacts/lint_downgrade.json > /dev/null
+python3 scripts/check_json.py --schema lint artifacts/lint_base.json \
+    artifacts/lint_fwd.json artifacts/lint_legacy.json \
+    artifacts/lint_downgrade.json
+grep -q '"clean": true' artifacts/lint_base.json
+grep -q '"clean": true' artifacts/lint_fwd.json
+grep -q '"clean": true' artifacts/lint_legacy.json
+grep -q '"clean": true' artifacts/lint_downgrade.json
+for kind in missing_row overlapping_rows dropped_response \
+            out_of_order_consume forwarding_asymmetry; do
+    if ./build/tools/cosmos lint --forwarding --mutate "$kind" \
+        --out "artifacts/lint_$kind.json" > /dev/null; then
+        echo "lint smoke: planted $kind mutation was NOT caught" >&2
+        exit 1
+    fi
+    python3 scripts/check_json.py --schema lint \
+        "artifacts/lint_$kind.json"
+    grep -q "\"kind\": \"$kind\"" "artifacts/lint_$kind.json"
+    grep -q '"clean": false' "artifacts/lint_$kind.json"
+done
+echo "== protocol lint OK (4 variants clean, 5 planted mutations" \
+     "caught)"
 
 # Forge / trace-ingestion smoke: a generated text trace must replay
 # through the simulator byte-for-byte (gen -> run round-trip, plus a
@@ -240,14 +281,19 @@ echo "== artifact: artifacts/BENCH_predictor_throughput.json"
 
 # ThreadSanitizer pass over the parallel replay engine: the
 # determinism + ThreadPool + trace-cache concurrency tests must run
-# race-free.
+# race-free, and so must the sharded predictor bank's two-phase
+# stageChunk/applyShard pipeline (workers apply disjoint shards of
+# one staged chunk concurrently).
 # shellcheck disable=SC2046
 cmake -B build-tsan $(gen_for build-tsan) -DCOSMOS_TSAN=ON
-cmake --build build-tsan --target replay_test harness_test
+cmake --build build-tsan --target replay_test harness_test batch_test
 start=$(now_ms)
 ./build-tsan/tests/replay_test
 ./build-tsan/tests/harness_test --gtest_filter='TraceCache.*'
-echo "== tsan replay/trace-cache suites ($(($(now_ms) - start)) ms)"
+./build-tsan/tests/batch_test \
+    --gtest_filter='ShardedBank.*:StreamingReplay.*'
+echo "== tsan replay/trace-cache/sharded-bank suites" \
+     "($(($(now_ms) - start)) ms)"
 
 # AddressSanitizer + UBSan pass over the protocol, checker, and model
 # suites: the model checker snapshots/restores live controllers
@@ -264,14 +310,18 @@ start=$(now_ms)
 echo "== asan proto/check/model suites ($(($(now_ms) - start)) ms)"
 
 # Static lint over the sources that host invariants (src/model,
-# src/check): clang-tidy reads the compilation database the main
-# build exports. Gated on availability -- hosts without clang-tidy
-# skip the stage rather than fail it.
+# src/check, src/lint, src/proto): clang-tidy reads the compilation
+# database the main build exports. Gated on the tool being installed,
+# but never on its verdict: .clang-tidy sets WarningsAsErrors '*', so
+# when clang-tidy is present ANY surviving diagnostic exits non-zero
+# and fails the build here (set -e) -- the stage cannot silently
+# degrade into a skip.
 if command -v clang-tidy > /dev/null 2>&1; then
     start=$(now_ms)
     clang-tidy -p build --quiet \
-        src/model/*.cc src/check/*.cc
-    echo "== clang-tidy model/check ($(($(now_ms) - start)) ms)"
+        src/model/*.cc src/check/*.cc src/lint/*.cc src/proto/*.cc
+    echo "== clang-tidy model/check/lint/proto" \
+         "($(($(now_ms) - start)) ms)"
 else
     echo "== clang-tidy not installed; lint stage skipped"
 fi

@@ -1,0 +1,362 @@
+#include "lint/analyzer.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace cosmos::lint
+{
+
+using proto::ActionId;
+using proto::MsgType;
+using proto::ProtocolTable;
+using proto::Role;
+using proto::TransitionRow;
+
+const char *
+Finding::toString(Kind k)
+{
+    switch (k) {
+      case Kind::missing_row:          return "missing_row";
+      case Kind::overlapping_rows:     return "overlapping_rows";
+      case Kind::dropped_response:     return "dropped_response";
+      case Kind::out_of_order_consume: return "out_of_order_consume";
+      case Kind::forwarding_asymmetry:
+        return "forwarding_asymmetry";
+    }
+    return "?";
+}
+
+namespace
+{
+
+RowRef
+refOf(const TransitionRow &r)
+{
+    return RowRef{r.where(), r.format()};
+}
+
+/** The inputs a role can ever face (the other role's messages never
+ *  reach it -- Machine routes by receiverRole). */
+std::vector<std::uint8_t>
+inputsOf(Role role)
+{
+    const auto in = [](MsgType t) {
+        return static_cast<std::uint8_t>(t);
+    };
+    if (role == Role::cache) {
+        return {in(MsgType::get_ro_response),
+                in(MsgType::get_rw_response),
+                in(MsgType::upgrade_response),
+                in(MsgType::inval_ro_request),
+                in(MsgType::inval_rw_request),
+                in(MsgType::downgrade_request),
+                proto::input_proc_read,
+                proto::input_proc_write};
+    }
+    return {in(MsgType::get_ro_request),  in(MsgType::get_rw_request),
+            in(MsgType::upgrade_request), in(MsgType::inval_ro_response),
+            in(MsgType::inval_rw_response),
+            in(MsgType::downgrade_response), in(MsgType::fwd_ack)};
+}
+
+/** Responses that legitimately answer a consumed request. */
+std::vector<MsgType>
+responsesFor(MsgType request)
+{
+    switch (request) {
+      case MsgType::get_ro_request:
+        // The directory may answer a read with an exclusive copy when
+        // it predicts a read-modify-write (§4.1).
+        return {MsgType::get_ro_response, MsgType::get_rw_response};
+      case MsgType::get_rw_request:
+        return {MsgType::get_rw_response};
+      case MsgType::upgrade_request:
+        // Promoted upgrades (requester's copy swept mid-flight) are
+        // answered with a full data response.
+        return {MsgType::upgrade_response, MsgType::get_rw_response};
+      case MsgType::inval_ro_request:
+        return {MsgType::inval_ro_response};
+      case MsgType::inval_rw_request:
+        return {MsgType::inval_rw_response};
+      case MsgType::downgrade_request:
+        return {MsgType::downgrade_response};
+      default:
+        return {};
+    }
+}
+
+bool
+isRequest(std::uint8_t input)
+{
+    return input < proto::num_msg_types &&
+           !responsesFor(static_cast<MsgType>(input)).empty();
+}
+
+/** Live rows of one (role, state, input) bucket, in table order. */
+std::vector<const TransitionRow *>
+liveRowsAt(const ProtocolTable &t, Role role, std::uint8_t state,
+           std::uint8_t input)
+{
+    std::vector<const TransitionRow *> out;
+    for (const TransitionRow &r : t.rows()) {
+        if (!r.unreachable && r.role == role && r.state == state &&
+            r.input == input) {
+            out.push_back(&r);
+        }
+    }
+    return out;
+}
+
+// ------------------------- completeness -------------------------
+
+void
+checkCompleteness(const ProtocolTable &t, std::vector<Finding> &out)
+{
+    std::set<std::tuple<Role, std::uint8_t, std::uint8_t>> covered;
+    for (const TransitionRow &r : t.rows())
+        covered.insert({r.role, r.state, r.input});
+
+    for (Role role : {Role::cache, Role::directory}) {
+        const unsigned states = role == Role::cache
+                                    ? proto::num_cache_states
+                                    : proto::num_dir_phases;
+        for (std::uint8_t s = 0; s < states; ++s) {
+            for (std::uint8_t i : inputsOf(role)) {
+                if (covered.count({role, s, i}))
+                    continue;
+                Finding f;
+                f.kind = Finding::Kind::missing_row;
+                f.role = role;
+                f.detail = detail::concat(
+                    proto::toString(role), " ",
+                    ProtocolTable::stateName(role, s), " x ",
+                    proto::tableInputName(i),
+                    ": no transition row and no declared-unreachable "
+                    "marker");
+                out.push_back(std::move(f));
+            }
+        }
+    }
+}
+
+// ------------------------- determinism -------------------------
+
+/** Guard values a row matches (its own guard, plus guard|q under the
+ *  allowQ relaxation). */
+std::vector<proto::GuardBits>
+matchSet(const TransitionRow &r)
+{
+    std::vector<proto::GuardBits> m{r.guard};
+    if (r.allowQ)
+        m.push_back(r.guard | proto::guard_q);
+    return m;
+}
+
+void
+checkDeterminism(const ProtocolTable &t, std::vector<Finding> &out)
+{
+    std::map<std::tuple<Role, std::uint8_t, std::uint8_t>,
+             std::vector<const TransitionRow *>>
+        buckets;
+    for (const TransitionRow &r : t.rows())
+        if (!r.unreachable)
+            buckets[{r.role, r.state, r.input}].push_back(&r);
+
+    for (const auto &[key, rows] : buckets) {
+        for (std::size_t a = 0; a < rows.size(); ++a) {
+            for (std::size_t b = a + 1; b < rows.size(); ++b) {
+                const auto ma = matchSet(*rows[a]);
+                const auto mb = matchSet(*rows[b]);
+                const bool overlap = std::any_of(
+                    ma.begin(), ma.end(), [&](proto::GuardBits g) {
+                        return std::find(mb.begin(), mb.end(), g) !=
+                               mb.end();
+                    });
+                if (!overlap)
+                    continue;
+                Finding f;
+                f.kind = Finding::Kind::overlapping_rows;
+                f.role = std::get<0>(key);
+                f.detail = detail::concat(
+                    "two rows of ", rows[a]->format(),
+                    " match the same guard; dispatch would be "
+                    "order-dependent");
+                f.rows = {refOf(*rows[a]), refOf(*rows[b])};
+                out.push_back(std::move(f));
+            }
+        }
+    }
+}
+
+// --------------------- message conservation ---------------------
+
+/** Any-path DFS through the transaction's continuation rows: from
+ *  @p row, is a row reachable that emits one of @p resp or delegates
+ *  the data response to a third party? @p pending is the bitmask of
+ *  response inputs the transaction is still owed (it grows when a
+ *  row emits further requests). */
+bool
+answers(const ProtocolTable &t, const TransitionRow &row,
+        const std::vector<MsgType> &resp, std::uint32_t pending,
+        std::set<std::pair<const TransitionRow *, std::uint32_t>>
+            &visited)
+{
+    for (MsgType e : row.emits)
+        if (std::find(resp.begin(), resp.end(), e) != resp.end())
+            return true;
+    if (row.delegatesData)
+        return true;
+
+    // Requests this row fans out add their responses to what the
+    // transaction waits for (e.g. a write serve emitting
+    // inval_ro_request continues on inval_ro_response rows).
+    for (MsgType e : row.emits)
+        for (MsgType r : responsesFor(e))
+            pending |= 1u << static_cast<unsigned>(r);
+
+    for (std::uint8_t i = 0; i < proto::num_msg_types; ++i) {
+        if (!(pending & (1u << i)))
+            continue;
+        for (const TransitionRow *c :
+             liveRowsAt(t, row.role, row.next, i)) {
+            if (!visited.insert({c, pending}).second)
+                continue;
+            if (answers(t, *c, resp, pending, visited))
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+checkConservation(const ProtocolTable &t, std::vector<Finding> &out)
+{
+    for (const TransitionRow &r : t.rows()) {
+        if (r.unreachable || !isRequest(r.input))
+            continue;
+        // A queue row defers the request into the entry's backlog;
+        // it is re-dispatched against the quiescent rows later, so
+        // those rows carry the obligation.
+        if (r.action == ActionId::dir_queue_request)
+            continue;
+        const auto resp = responsesFor(static_cast<MsgType>(r.input));
+        std::set<std::pair<const TransitionRow *, std::uint32_t>>
+            visited;
+        if (answers(t, r, resp, 0, visited))
+            continue;
+        Finding f;
+        f.kind = Finding::Kind::dropped_response;
+        f.role = r.role;
+        f.detail = detail::concat(
+            "no continuation of ", r.format(), " emits a response to ",
+            proto::tableInputName(r.input),
+            " (and none delegates the data three-hop); the requester "
+            "would wait forever");
+        f.rows = {refOf(r)};
+        out.push_back(std::move(f));
+    }
+}
+
+// ---------------------- channel discipline ----------------------
+
+void
+checkChannelDiscipline(const ProtocolTable &t,
+                       std::vector<Finding> &out)
+{
+    for (const TransitionRow &r : t.rows()) {
+        if (r.unreachable)
+            continue;
+        // A completing row ends the transaction: its outstanding
+        // responses cannot still be in flight afterwards.
+        if (r.completes)
+            continue;
+        for (std::uint8_t i : inputsOf(r.role)) {
+            if (r.clears & (1u << i))
+                continue;
+            for (const TransitionRow *c :
+                 liveRowsAt(t, r.role, r.state, i)) {
+                // Processor inputs are issued, not in flight.
+                if (c->via == proto::Via::proc)
+                    continue;
+                // Same single FIFO channel as the consumed input:
+                // the sender serializes its own stream, so anything
+                // behind the consumed message is consistent with the
+                // state this row enters.
+                if (proto::singleChannel(c->via) && c->via == r.via)
+                    continue;
+                if (!liveRowsAt(t, r.role, r.next, i).empty())
+                    continue;
+                Finding f;
+                f.kind = Finding::Kind::out_of_order_consume;
+                f.role = r.role;
+                f.detail = detail::concat(
+                    proto::tableInputName(i), " can be in flight to ",
+                    proto::toString(r.role), " ",
+                    ProtocolTable::stateName(r.role, r.state),
+                    " but has no row in next state ",
+                    ProtocolTable::stateName(r.role, r.next),
+                    " after ", r.format());
+                f.rows = {refOf(r), refOf(*c)};
+                out.push_back(std::move(f));
+            }
+        }
+    }
+}
+
+// --------------------- forwarding asymmetry ---------------------
+
+void
+checkForwardingAsymmetry(const ProtocolTable &t,
+                         std::vector<Finding> &out)
+{
+    for (const TransitionRow &r : t.rows()) {
+        if (r.unreachable || r.role != Role::cache)
+            continue;
+        const bool emitsData =
+            std::find(r.emits.begin(), r.emits.end(),
+                      MsgType::get_ro_response) != r.emits.end() ||
+            std::find(r.emits.begin(), r.emits.end(),
+                      MsgType::get_rw_response) != r.emits.end();
+        if (!emitsData)
+            continue;
+        const bool forwardedRecall =
+            (r.input == static_cast<std::uint8_t>(
+                            MsgType::inval_rw_request) ||
+             r.input == static_cast<std::uint8_t>(
+                            MsgType::downgrade_request)) &&
+            (r.guard & proto::guard_fwd);
+        if (forwardedRecall)
+            continue;
+        Finding f;
+        f.kind = Finding::Kind::forwarding_asymmetry;
+        f.role = Role::cache;
+        f.detail = detail::concat(
+            "cache row ", r.format(),
+            " emits a data response outside a forwarded "
+            "inval_rw/downgrade recall; inval_ro sweeps target "
+            "shared blocks whose data the home itself holds and are "
+            "never forwarded");
+        f.rows = {refOf(r)};
+        out.push_back(std::move(f));
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+analyze(const ProtocolTable &table)
+{
+    std::vector<Finding> out;
+    checkCompleteness(table, out);
+    checkDeterminism(table, out);
+    checkConservation(table, out);
+    checkChannelDiscipline(table, out);
+    checkForwardingAsymmetry(table, out);
+    return out;
+}
+
+} // namespace cosmos::lint

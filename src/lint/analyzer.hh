@@ -1,0 +1,78 @@
+/**
+ * @file
+ * `cosmos lint`: static analysis over the declared protocol
+ * transition table (src/proto/transition_table.*). No execution is
+ * involved -- every pass is a pure function of the table rows, which
+ * is what lets CI prove each pass's teeth by planting a table
+ * mutation (lint/mutate.hh) and requiring the run to fail.
+ *
+ * Passes:
+ *  - completeness (missing_row): every (state, input) pair a role can
+ *    face is covered by a live row or a declared-unreachable marker.
+ *  - determinism (overlapping_rows): within one (role, state, input)
+ *    bucket no two live rows can match the same guard bits (the
+ *    allowQ relaxation counts as matching guard|q).
+ *  - message conservation (dropped_response): every consumed request
+ *    leads -- possibly through the transaction's continuation rows --
+ *    to a row that emits the matching response or delegates the data
+ *    to a third party (three-hop forwarding).
+ *  - channel discipline (out_of_order_consume): an input that can
+ *    arrive in a row's pre-state must still be consumable in its next
+ *    state, unless the row completes the transaction, declares the
+ *    input cleared, or shares the input's single FIFO channel (the
+ *    sender serializes its own stream).
+ *  - forwarding asymmetry (forwarding_asymmetry): only forwarded
+ *    inval_rw/downgrade recalls may make a cache emit a data
+ *    response; inval_ro sweeps target shared blocks whose data the
+ *    home itself holds, so they are never forwarded.
+ */
+
+#ifndef COSMOS_LINT_ANALYZER_HH
+#define COSMOS_LINT_ANALYZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/transition_table.hh"
+
+namespace cosmos::lint
+{
+
+/** Provenance of one table row a finding points at. */
+struct RowRef
+{
+    /** "src/proto/transition_table.cc:NN" */
+    std::string where;
+    /** TransitionRow::format() rendering. */
+    std::string row;
+};
+
+/** One static-analysis finding. */
+struct Finding
+{
+    enum class Kind : std::uint8_t
+    {
+        missing_row,
+        overlapping_rows,
+        dropped_response,
+        out_of_order_consume,
+        forwarding_asymmetry,
+    };
+
+    Kind kind{};
+    proto::Role role = proto::Role::cache;
+    std::string detail;
+    /** Declaring rows involved (empty for missing_row: there is no
+     *  row to point at, the hole itself is the finding). */
+    std::vector<RowRef> rows;
+
+    static const char *toString(Kind k);
+};
+
+/** Run all five passes; findings in pass order, deterministic. */
+std::vector<Finding> analyze(const proto::ProtocolTable &table);
+
+} // namespace cosmos::lint
+
+#endif // COSMOS_LINT_ANALYZER_HH

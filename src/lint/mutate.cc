@@ -1,0 +1,165 @@
+#include "lint/mutate.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "proto/cache_controller.hh"
+
+namespace cosmos::lint
+{
+
+using proto::GuardBits;
+using proto::LineState;
+using proto::MsgType;
+using proto::ProtocolTable;
+using proto::Role;
+using proto::TransitionRow;
+
+const char *
+toString(MutationKind k)
+{
+    switch (k) {
+      case MutationKind::none:                 return "none";
+      case MutationKind::missing_row:          return "missing_row";
+      case MutationKind::overlapping_rows:     return "overlapping_rows";
+      case MutationKind::dropped_response:     return "dropped_response";
+      case MutationKind::out_of_order_consume:
+        return "out_of_order_consume";
+      case MutationKind::forwarding_asymmetry:
+        return "forwarding_asymmetry";
+    }
+    return "?";
+}
+
+bool
+parseMutation(std::string_view name, MutationKind &out)
+{
+    for (MutationKind k :
+         {MutationKind::none, MutationKind::missing_row,
+          MutationKind::overlapping_rows, MutationKind::dropped_response,
+          MutationKind::out_of_order_consume,
+          MutationKind::forwarding_asymmetry}) {
+        if (name == toString(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+/** The one live row matching (role, state, input, guard); panics if
+ *  absent -- mutations target configuration-independent rows. */
+TransitionRow &
+rowAt(ProtocolTable &t, Role role, std::uint8_t state,
+      std::uint8_t input, GuardBits guard)
+{
+    for (TransitionRow &r : t.mutableRows()) {
+        if (!r.unreachable && r.role == role && r.state == state &&
+            r.input == input && r.guard == guard) {
+            return r;
+        }
+    }
+    cosmos_panic("mutation target row not found: ",
+                 proto::toString(role), " ",
+                 ProtocolTable::stateName(role, state), " x ",
+                 proto::tableInputName(input));
+}
+
+constexpr std::uint8_t
+ls(LineState s)
+{
+    return static_cast<std::uint8_t>(s);
+}
+
+constexpr std::uint8_t
+ph(proto::DirPhase p)
+{
+    return static_cast<std::uint8_t>(p);
+}
+
+constexpr std::uint8_t
+in(MsgType t)
+{
+    return static_cast<std::uint8_t>(t);
+}
+
+} // namespace
+
+std::string
+applyMutation(ProtocolTable &table, MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::none:
+        return "no mutation";
+
+      case MutationKind::missing_row: {
+        // Drop the wait_upg demotion row: an upgrade racing an
+        // invalidation sweep would have no handler at all.
+        const TransitionRow target =
+            rowAt(table, Role::cache, ls(LineState::wait_upg),
+                  in(MsgType::inval_ro_request), proto::guard_none);
+        auto &rows = table.mutableRows();
+        rows.erase(std::remove_if(rows.begin(), rows.end(),
+                                  [&](const TransitionRow &r) {
+                                      return r.line == target.line;
+                                  }),
+                   rows.end());
+        table.reindex();
+        return detail::concat("removed row ", target.format());
+      }
+
+      case MutationKind::overlapping_rows: {
+        // Duplicate the shared-line invalidation row with a
+        // contradictory next state: dispatch becomes order-dependent.
+        TransitionRow dup =
+            rowAt(table, Role::cache, ls(LineState::read_only),
+                  in(MsgType::inval_ro_request), proto::guard_none);
+        dup.next = ls(LineState::read_only);
+        table.mutableRows().push_back(dup);
+        table.reindex();
+        return detail::concat("duplicated row ", dup.format(),
+                              " with next state read_only");
+      }
+
+      case MutationKind::dropped_response: {
+        // The last invalidation ack no longer answers the writer:
+        // the upgrade/write transaction ends without a response.
+        TransitionRow &r =
+            rowAt(table, Role::directory,
+                  ph(proto::DirPhase::busy_write),
+                  in(MsgType::inval_ro_response), proto::guard_last_ack);
+        r.emits.clear();
+        return detail::concat("cleared the emissions of ", r.format());
+      }
+
+      case MutationKind::out_of_order_consume: {
+        // Leave busy_write while invalidation acks are still in
+        // flight: the remaining acks arrive in a state with no row.
+        TransitionRow &r =
+            rowAt(table, Role::directory,
+                  ph(proto::DirPhase::busy_write),
+                  in(MsgType::inval_ro_response),
+                  proto::guard_more_acks);
+        r.next = ph(proto::DirPhase::exclusive);
+        return detail::concat("redirected ", r.format(),
+                              " into exclusive with acks outstanding");
+      }
+
+      case MutationKind::forwarding_asymmetry: {
+        // Make a shared-line invalidation hand out data three-hop:
+        // inval_ro sweeps must never be forwarded.
+        TransitionRow &r =
+            rowAt(table, Role::cache, ls(LineState::read_only),
+                  in(MsgType::inval_ro_request), proto::guard_none);
+        r.emits.push_back(MsgType::get_ro_response);
+        std::sort(r.emits.begin(), r.emits.end());
+        return detail::concat("added get_ro_response to ", r.format());
+      }
+    }
+    cosmos_panic("unhandled mutation kind");
+}
+
+} // namespace cosmos::lint

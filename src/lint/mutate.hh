@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Planted table mutations proving `cosmos lint` has teeth.
+ *
+ * Each mutation edits the declared transition table into a protocol
+ * with exactly the class of bug one lint pass exists to catch; CI
+ * runs `cosmos lint --mutate=<kind>` as a must-fail leg and greps
+ * the finding kind out of the JSON. The mutations never touch the
+ * controllers -- the table is edited after build(), so the planted
+ * bug exists only inside the analyzed copy.
+ */
+
+#ifndef COSMOS_LINT_MUTATE_HH
+#define COSMOS_LINT_MUTATE_HH
+
+#include <string>
+#include <string_view>
+
+#include "proto/transition_table.hh"
+
+namespace cosmos::lint
+{
+
+/** Which planted bug to apply (names match Finding::Kind). */
+enum class MutationKind : std::uint8_t
+{
+    none,
+    missing_row,
+    overlapping_rows,
+    dropped_response,
+    out_of_order_consume,
+    forwarding_asymmetry,
+};
+
+const char *toString(MutationKind k);
+
+/** Parse a --mutate= value; false on an unknown name. */
+bool parseMutation(std::string_view name, MutationKind &out);
+
+/**
+ * Edit @p table in place with the planted bug for @p kind (a no-op
+ * for none). Returns a one-line description of the edit. Panics if
+ * the targeted row is not in the table (the mutations target rows
+ * present under every configuration).
+ */
+std::string applyMutation(proto::ProtocolTable &table,
+                          MutationKind kind);
+
+} // namespace cosmos::lint
+
+#endif // COSMOS_LINT_MUTATE_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Rendering of `cosmos lint` results: a human summary and the
+ * byte-stable `cosmos-lint-v1` JSON artifact for CI
+ * (scripts/check_json.py validates the schema).
+ *
+ * Byte-stability contract: two runs with the same configuration and
+ * mutation produce byte-identical JSON (findings render in pass
+ * order, rows in table order).
+ */
+
+#ifndef COSMOS_LINT_REPORT_HH
+#define COSMOS_LINT_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hh"
+#include "lint/mutate.hh"
+
+namespace cosmos::lint
+{
+
+/** Multi-line human-readable summary. */
+std::string renderReport(const proto::ProtocolTable &table,
+                         const std::vector<Finding> &findings,
+                         MutationKind mutation);
+
+/** The `cosmos-lint-v1` JSON document (returned, not written: the
+ *  CLI decides between stdout and a file). */
+std::string renderJson(const proto::ProtocolTable &table,
+                       const std::vector<Finding> &findings,
+                       MutationKind mutation);
+
+} // namespace cosmos::lint
+
+#endif // COSMOS_LINT_REPORT_HH

@@ -298,6 +298,18 @@ buildCounterexample(const ModelConfig &mc, Stepper &stepper,
         const Action c = translateAction(a, inv);
         ce.schedule.push_back(c);
         stepper.step(s, c, r);
+        // Record which declared rows this step dispatched through:
+        // the replayable counterexample names each transition by its
+        // declaration site instead of an opaque handler.
+        ce.rowTrace.emplace_back();
+        for (const Sample &smp : r.samples) {
+            ce.rowTrace.back().push_back(
+                smp.row ? detail::concat(smp.row->where(), "  ",
+                                         smp.row->format())
+                        : detail::concat("(undeclared) ",
+                                         toString(smp.module), " ",
+                                         inputName(smp.input)));
+        }
         if (r.failed)
             break; // assertion counterexamples end at the failure
         s = r.next;
@@ -393,6 +405,8 @@ explore(const ExploreOptions &opt)
                     "unbounded transient");
                 record(nid, nullptr, std::move(v));
                 res.states = visited.size();
+                res.consistency =
+                    res.table.diffAgainstDeclared(stepper.table());
                 return res;
             }
             frontier.push_back(nid);
@@ -400,6 +414,7 @@ explore(const ExploreOptions &opt)
     }
 
     res.states = visited.size();
+    res.consistency = res.table.diffAgainstDeclared(stepper.table());
     return res;
 }
 
@@ -431,6 +446,11 @@ formatCounterexample(const ModelConfig &mc, const Counterexample &ce)
                 a.kind == Action::Kind::issue_write ? "write" : "read",
                 " block=", unsigned{a.blockIdx}, "\n");
         }
+        // Row provenance as replay-transparent comments: each handler
+        // invocation of the step, named by its declaring table row.
+        if (i < ce.rowTrace.size())
+            for (const std::string &row : ce.rowTrace[i])
+                out += detail::concat("#   row ", row, "\n");
         ++i;
     }
     return out;

@@ -59,6 +59,11 @@ struct Counterexample
     /** Concrete actions, executable from the all-invalid initial
      *  state (canonical-space node ids already translated back). */
     std::vector<Action> schedule;
+    /** Per schedule step, the declared table rows (file:line plus the
+     *  row text) each handler invocation of that step dispatched
+     *  through -- the provenance trail rendered as `# row` comment
+     *  lines in the replayable counterexample format. */
+    std::vector<std::vector<std::string>> rowTrace;
 };
 
 /** Outcome of one exploration. */
@@ -73,8 +78,15 @@ struct ExploreResult
 
     std::vector<Counterexample> counterexamples;
     TransitionTable table;
+    /** Diff of the extracted table against the declared
+     *  proto::ProtocolTable the controllers dispatch through (see
+     *  TransitionTable::diffAgainstDeclared). */
+    std::vector<ConsistencyFinding> consistency;
 
     bool clean() const { return counterexamples.empty() && complete; }
+
+    /** True when the extracted table matches the declared one. */
+    bool consistent() const { return consistency.empty(); }
 };
 
 /** Run the exhaustive exploration. */

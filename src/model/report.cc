@@ -95,6 +95,14 @@ renderReport(const ModelConfig &mc, const ExploreResult &res)
            << toString(f.module) << ": " << f.detail << "\n";
     }
 
+    os << "declared-table consistency: "
+       << (res.consistent() ? "ok" : "DIVERGED") << " ("
+       << res.consistency.size() << " findings)\n";
+    for (const ConsistencyFinding &f : res.consistency) {
+        os << "  [" << ConsistencyFinding::toString(f.kind) << "] "
+           << toString(f.module) << ": " << f.detail << "\n";
+    }
+
     for (const Counterexample &ce : res.counterexamples) {
         os << "\nviolation: " << check::toString(ce.violation.kind)
            << " -- " << ce.violation.detail << "\n";
@@ -183,6 +191,21 @@ writeReportJson(const std::string &path, const ModelConfig &mc,
         os << "}";
     }
     os << (lint.empty() ? "]" : "\n  ]") << ",\n";
+
+    os << "  \"consistent\": "
+       << (res.consistent() ? "true" : "false") << ",\n";
+    os << "  \"consistency\": [";
+    for (std::size_t i = 0; i < res.consistency.size(); ++i) {
+        const ConsistencyFinding &f = res.consistency[i];
+        os << (i ? "," : "") << "\n    {\"kind\": ";
+        appendJsonString(os, ConsistencyFinding::toString(f.kind));
+        os << ", \"module\": ";
+        appendJsonString(os, toString(f.module));
+        os << ", \"detail\": ";
+        appendJsonString(os, f.detail);
+        os << "}";
+    }
+    os << (res.consistency.empty() ? "]" : "\n  ]") << ",\n";
 
     os << "  \"violations\": [";
     for (std::size_t i = 0; i < res.counterexamples.size(); ++i) {

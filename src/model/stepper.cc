@@ -7,7 +7,8 @@ namespace cosmos::model
 
 Stepper::Stepper(const ModelConfig &mc)
     : mc_(mc), cfg_(mc.machineConfig()),
-      amap_(cfg_.blockBytes, cfg_.pageBytes, cfg_.numNodes)
+      amap_(cfg_.blockBytes, cfg_.pageBytes, cfg_.numNodes),
+      table_(proto::ProtocolTable::build(cfg_))
 {
     mc_.validate();
     auto capture = [this](const proto::Msg &m) {
@@ -17,9 +18,9 @@ Stepper::Stepper(const ModelConfig &mc)
     dirs_.reserve(cfg_.numNodes);
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         caches_.push_back(std::make_unique<proto::CacheController>(
-            n, amap_, cfg_, eq_, capture));
+            n, amap_, cfg_, table_, eq_, capture));
         dirs_.push_back(std::make_unique<proto::DirectoryController>(
-            n, amap_, cfg_, eq_, capture));
+            n, amap_, cfg_, table_, eq_, capture));
     }
 }
 
@@ -197,12 +198,26 @@ Stepper::drainInto(Sample &sample, std::vector<proto::Msg> &worklist,
 namespace
 {
 
-void
-appendTag(std::string &ctx, const char *tag)
+/** The guard-relevant slice of a pre-handler entry snapshot, in the
+ *  shape the transition table's guard predicates are declared over.
+ *  DirectoryController::guardView builds the identical view from the
+ *  live Entry, so the stepper and the dispatch derive the same
+ *  guards. */
+proto::DirGuardView
+viewOf(const proto::DirEntrySnapshot &e)
 {
-    if (!ctx.empty())
-        ctx += '+';
-    ctx += tag;
+    proto::DirGuardView v;
+    v.busy = e.busy;
+    v.state = static_cast<std::uint8_t>(e.state);
+    v.sharers = e.sharers;
+    v.pendingAcks = e.pendingAcks;
+    v.genuineUpgrade = e.genuineUpgrade;
+    v.recall = e.recall;
+    v.fwdData = e.fwdData;
+    v.fwdAckPending = e.fwdAckPending;
+    v.waitingEmpty = e.waiting.empty();
+    v.currentType = e.current.type;
+    return v;
 }
 
 } // namespace
@@ -220,20 +235,16 @@ Stepper::runCascade(Result &out, std::vector<proto::Msg> &worklist,
             sample.input = static_cast<std::uint8_t>(m.type);
             sample.pre = static_cast<std::uint8_t>(
                 caches_[m.dst]->state(m.block));
-            // The forwarded mark changes what the cache emits: a
-            // marked recall adds the direct data reply, marked data
-            // adds the fwd_ack receipt. The mark -- and, for recalls,
-            // whether the requester wanted a writable copy, which
-            // picks the reply type -- is message state, not cache
-            // state, so tag both to keep rows deterministic.
-            if (m.forwarded) {
-                appendTag(sample.context, "fwd");
-                if (m.type == proto::MsgType::inval_rw_request ||
-                    m.type == proto::MsgType::downgrade_request) {
-                    appendTag(sample.context,
-                              m.wantWritable ? "rw" : "ro");
-                }
-            }
+            // The guard bits are exactly what the controller's own
+            // dispatch derives (the forwarded mark and, for recalls,
+            // the wanted copy kind -- message state, not cache state);
+            // their canonical rendering is the sample context, so the
+            // extracted rows stay deterministic and the consistency
+            // diff can match samples back to declared rows.
+            const proto::GuardBits guard = proto::cacheMsgGuard(m);
+            sample.context = proto::guardContext(guard);
+            sample.row = table_.find(proto::Role::cache, sample.pre,
+                                     sample.input, guard);
             caches_[m.dst]->handleMessage(m);
             drainInto(sample, worklist, work, m.dst);
             sample.post = static_cast<std::uint8_t>(
@@ -243,68 +254,15 @@ Stepper::runCascade(Result &out, std::vector<proto::Msg> &worklist,
             sample.input = static_cast<std::uint8_t>(m.type);
             const proto::DirEntrySnapshot pre = dirEntry(m.dst, m.block);
             sample.pre = static_cast<std::uint8_t>(dirAbstract(pre));
-
-            const std::uint64_t srcBit = std::uint64_t{1} << m.src;
-            switch (m.type) {
-              case proto::MsgType::get_ro_request:
-              case proto::MsgType::get_rw_request:
-              case proto::MsgType::upgrade_request:
-                if (pre.busy) {
-                    appendTag(sample.context, "queued");
-                    break;
-                }
-                if (m.type == proto::MsgType::upgrade_request) {
-                    appendTag(sample.context, (pre.sharers & srcBit)
-                                                  ? "sharer"
-                                                  : "nonsharer");
-                }
-                if (m.type != proto::MsgType::get_ro_request &&
-                    pre.state == proto::DirState::shared) {
-                    appendTag(sample.context,
-                              (pre.sharers & ~srcBit) ? "others"
-                                                      : "solo");
-                }
-                break;
-              case proto::MsgType::inval_ro_response:
-                appendTag(sample.context, pre.pendingAcks > 1
-                                              ? "more_acks"
-                                              : "last_ack");
-                // The final ack's reply type (get_rw_response vs
-                // upgrade_response) is chosen by the genuineUpgrade
-                // latch, part of the directory's hidden state.
-                if (pre.pendingAcks <= 1 && pre.genuineUpgrade)
-                    appendTag(sample.context, "upg");
-                if (pre.pendingAcks <= 1 && !pre.waiting.empty())
-                    appendTag(sample.context, "q");
-                break;
-              case proto::MsgType::inval_rw_response:
-              case proto::MsgType::downgrade_response:
-                // Forwarded transfers settle differently (the owner
-                // already answered the requester), and whether the
-                // entry can finish depends on the fwd_ack having
-                // arrived -- both are hidden directory state, so tag
-                // them to keep the table rows deterministic.
-                if (pre.fwdData)
-                    appendTag(sample.context, "fwd");
-                if (pre.fwdAckPending)
-                    appendTag(sample.context, "await_ack");
-                if (!pre.waiting.empty())
-                    appendTag(sample.context, "q");
-                break;
-              case proto::MsgType::fwd_ack:
-                // The ack may arrive before or after the owner's
-                // revision message; only the latter order finishes
-                // the transaction here.
-                appendTag(sample.context, pre.pendingAcks > 0
-                                              ? "await_data"
-                                              : "data_done");
-                if (pre.pendingAcks == 0 && !pre.waiting.empty())
-                    appendTag(sample.context, "q");
-                break;
-              default:
-                break;
-            }
-
+            // Same single source of truth as the cache branch: the
+            // guard predicates over the directory's hidden state (ack
+            // counts, the genuineUpgrade latch, forward-in-flight
+            // flags, the FIFO backlog) live in dirMsgGuard.
+            const proto::GuardBits guard =
+                proto::dirMsgGuard(viewOf(pre), m.type, m.src);
+            sample.context = proto::guardContext(guard);
+            sample.row = table_.find(proto::Role::directory,
+                                     sample.pre, sample.input, guard);
             dirs_[m.dst]->handleMessage(m);
             drainInto(sample, worklist, work, m.dst);
             sample.post = static_cast<std::uint8_t>(
@@ -345,6 +303,9 @@ Stepper::step(const GlobalState &s, const Action &a, Result &out)
             const Addr addr = mc_.blockAddr(a.blockIdx);
             sample.pre = static_cast<std::uint8_t>(
                 caches_[a.node]->state(addr));
+            sample.row =
+                table_.find(proto::Role::cache, sample.pre,
+                            sample.input, proto::guard_none);
             caches_[a.node]->access(addr, write, []() {});
             drainInto(sample, worklist, work, a.node);
             sample.post = static_cast<std::uint8_t>(

@@ -68,6 +68,10 @@ class Stepper
     const ModelConfig &modelConfig() const { return mc_; }
     const MachineConfig &machineConfig() const { return cfg_; }
 
+    /** The declared transition table the controllers dispatch
+     *  through; Sample::row points into it. */
+    const proto::ProtocolTable &table() const { return table_; }
+
   private:
     void load(const GlobalState &s);
     void readBack(GlobalState &out);
@@ -87,6 +91,8 @@ class Stepper
     ModelConfig mc_;
     MachineConfig cfg_;
     AddrMap amap_;
+    /** Declared before the controllers: they keep a reference. */
+    proto::ProtocolTable table_;
     sim::EventQueue eq_;
     std::vector<std::unique_ptr<proto::CacheController>> caches_;
     std::vector<std::unique_ptr<proto::DirectoryController>> dirs_;

@@ -268,6 +268,74 @@ TransitionTable::lint() const
     return findings;
 }
 
+const char *
+ConsistencyFinding::toString(Kind k)
+{
+    switch (k) {
+      case Kind::undeclared_transition: return "undeclared_transition";
+      case Kind::unreachable_reached:   return "unreachable_reached";
+      case Kind::outcome_mismatch:      return "outcome_mismatch";
+    }
+    return "?";
+}
+
+std::vector<ConsistencyFinding>
+TransitionTable::diffAgainstDeclared(
+    const proto::ProtocolTable &declared) const
+{
+    std::vector<ConsistencyFinding> findings;
+    for (const auto &[key, entry] : entries_) {
+        const proto::Role role = key.module == Module::cache
+                                     ? proto::Role::cache
+                                     : proto::Role::directory;
+        const proto::GuardBits guard =
+            proto::guardFromContext(key.context);
+        const proto::TransitionRow *row =
+            declared.find(role, key.state, key.input, guard);
+        if (!row) {
+            findings.push_back(
+                {ConsistencyFinding::Kind::undeclared_transition,
+                 key.module,
+                 detail::concat("no declared row covers ",
+                                key.format())});
+            continue;
+        }
+        if (row->unreachable) {
+            findings.push_back(
+                {ConsistencyFinding::Kind::unreachable_reached,
+                 key.module,
+                 detail::concat(key.format(),
+                                " matched the declared-unreachable "
+                                "marker at ",
+                                row->where())});
+            continue;
+        }
+        // A completing row serviced from the backlog folds the
+        // re-served request's transition into the same sample.
+        if (row->completes && (guard & proto::guard_q))
+            continue;
+
+        std::vector<proto::MsgType> want = row->emits;
+        std::sort(want.begin(), want.end());
+        want.erase(std::unique(want.begin(), want.end()), want.end());
+        for (const Outcome &o : entry.outcomes) {
+            if (o.next == row->next && o.emissions == want)
+                continue;
+            Outcome decl;
+            decl.next = row->next;
+            decl.emissions = want;
+            findings.push_back(
+                {ConsistencyFinding::Kind::outcome_mismatch,
+                 key.module,
+                 detail::concat(key.format(), " observed ",
+                                o.format(key.module),
+                                " but the row at ", row->where(),
+                                " declares ", decl.format(key.module))});
+        }
+    }
+    return findings;
+}
+
 std::string
 TransitionTable::format() const
 {

@@ -38,6 +38,7 @@
 #include "proto/cache_controller.hh"
 #include "proto/directory_controller.hh"
 #include "proto/messages.hh"
+#include "proto/transition_table.hh"
 
 namespace cosmos::model
 {
@@ -86,6 +87,10 @@ struct Sample
     std::uint8_t input = 0;
     std::string context;
     std::vector<proto::MsgType> emissions;
+    /** The declared table row the dispatch matched (nullptr when no
+     *  row covers the sample -- itself a consistency finding). Points
+     *  into the stepper's ProtocolTable; valid for its lifetime. */
+    const proto::TransitionRow *row = nullptr;
 };
 
 /** Key of one table row. */
@@ -146,6 +151,35 @@ struct LintFinding
     static const char *toString(Kind k);
 };
 
+/**
+ * One disagreement between the extracted table and the declared
+ * `proto::ProtocolTable`. The declared table is the source of truth
+ * the controllers dispatch through; the extractor re-derives the
+ * table from observed behaviour, so any diff means a handler body
+ * does something its row does not declare (or the exploration
+ * reached a row declared unreachable).
+ */
+struct ConsistencyFinding
+{
+    enum class Kind : std::uint8_t
+    {
+        /** A sample no declared row covers -- the dispatch itself
+         *  would have trapped, so this flags find/guard drift. */
+        undeclared_transition,
+        /** A sample matched a declared-unreachable marker row. */
+        unreachable_reached,
+        /** Observed (next state, emissions) differ from the declared
+         *  row's (next, emits). */
+        outcome_mismatch,
+    };
+
+    Kind kind{};
+    Module module{};
+    std::string detail;
+
+    static const char *toString(Kind k);
+};
+
 /** The extracted transition table. */
 class TransitionTable
 {
@@ -170,6 +204,20 @@ class TransitionTable
 
     /** Run the static lint (see file comment). */
     std::vector<LintFinding> lint() const;
+
+    /**
+     * Diff every extracted entry against @p declared: re-derive the
+     * guard from the entry's context tag (guardContext and
+     * guardFromContext are inverses), look the row up the way the
+     * controllers dispatch, and compare the declared (next, emits)
+     * against every observed outcome. Completing rows serviced from
+     * the "q" backlog are exempt from the outcome comparison -- the
+     * directory re-serves the queued request inside the same atomic
+     * step, so the sample's post state and emissions include the
+     * follow-on transaction by design.
+     */
+    std::vector<ConsistencyFinding>
+    diffAgainstDeclared(const proto::ProtocolTable &declared) const;
 
     /** Human-readable table rendering (one line per key/outcome). */
     std::string format() const;

@@ -24,8 +24,9 @@ toString(LineState s)
 
 CacheController::CacheController(NodeId node, const AddrMap &amap,
                                  const MachineConfig &cfg,
+                                 const ProtocolTable &table,
                                  sim::EventQueue &eq, SendFn send)
-    : node_(node), amap_(amap), cfg_(cfg), eq_(eq),
+    : node_(node), amap_(amap), cfg_(cfg), table_(table), eq_(eq),
       sendFn_(std::move(send))
 {
 }
@@ -142,48 +143,56 @@ void
 CacheController::access(Addr a, bool write, DoneFn done)
 {
     const Addr block = amap_.blockBase(a);
-    cosmos_assert(!pending_.count(block), "node ", node_,
-                  " issued an access to a block with a miss already "
-                  "outstanding");
-    LineState st = state(block);
+    const LineState st = state(block);
+    // Accesses to transient blocks (processors stall on those; an
+    // access here is the caller's error) hit the wait-state rows'
+    // declared-unreachable proc entries and panic in dispatch().
+    const TransitionRow &row = table_.dispatch(
+        Role::cache, static_cast<std::uint8_t>(st),
+        write ? input_proc_write : input_proc_read, guard_none, node_);
 
     if (write)
         ++stats_.stores;
     else
         ++stats_.loads;
 
-    const bool hit = write ? (st == LineState::read_write)
-                           : (st == LineState::read_only ||
-                              st == LineState::read_write);
-    if (hit) {
+    const NodeId home = amap_.home(block);
+    switch (row.action) {
+      case ActionId::cache_load_hit:
+      case ActionId::cache_store_hit:
         if (write)
             ++stats_.storeHits;
         else
             ++stats_.loadHits;
         eq_.scheduleAfter(cfg_.cacheHitLatency, std::move(done));
-        return;
-    }
+        break;
 
-    cosmos_assert(st == LineState::invalid || st == LineState::read_only,
-                  "access to block in transient state ", toString(st));
-
-    pending_.emplace(block, std::move(done));
-    const NodeId home = amap_.home(block);
-
-    if (!write) {
+      case ActionId::cache_begin_read_miss:
+        pending_.emplace(block, std::move(done));
         ++stats_.readMisses;
         evictForCapacity(block);
         setState(block, LineState::wait_ro);
         send(MsgType::get_ro_request, home, block);
-    } else if (st == LineState::invalid) {
+        break;
+
+      case ActionId::cache_begin_write_miss:
+        pending_.emplace(block, std::move(done));
         ++stats_.writeMisses;
         evictForCapacity(block);
         setState(block, LineState::wait_rw);
         send(MsgType::get_rw_request, home, block);
-    } else {
+        break;
+
+      case ActionId::cache_begin_upgrade:
+        pending_.emplace(block, std::move(done));
         ++stats_.upgrades;
         setState(block, LineState::wait_upg);
         send(MsgType::upgrade_request, home, block);
+        break;
+
+      default:
+        cosmos_panic("cache ", node_, " cannot run action ",
+                     toString(row.action), " for a processor access");
     }
 }
 
@@ -202,115 +211,121 @@ CacheController::complete(Addr block, LineState final_state)
 void
 CacheController::handleMessage(const Msg &m)
 {
-    const Addr block = m.block;
-    const LineState st = state(block);
+    // Dispatch picks the declared row for the current line state,
+    // the message type, and the guard bits derived from the message;
+    // a stray response or a message no row covers panics inside
+    // dispatch() with the offending (state, input, guard) triple.
+    const TransitionRow &row = table_.dispatch(
+        Role::cache, static_cast<std::uint8_t>(state(m.block)),
+        static_cast<std::uint8_t>(m.type), cacheMsgGuard(m), node_);
 
-    switch (m.type) {
-      case MsgType::get_ro_response:
-        cosmos_assert(pending_.count(block) &&
-                          st == LineState::wait_ro,
-                      "unexpected get_ro_response at node ", node_);
-        // Forwarded three-hop data came straight from the former
-        // owner; tell home it arrived so the directory entry can be
-        // released (it queues later requests until then).
-        if (m.forwarded)
-            send(MsgType::fwd_ack, amap_.home(block), block);
-        complete(block, LineState::read_only);
+    switch (row.action) {
+      case ActionId::cache_accept_ro:
+        acceptData(m, LineState::read_only);
         break;
-
-      case MsgType::get_rw_response:
-        // Answers a get_rw_request, an upgrade_request that raced
-        // with an invalidation of our shared copy (the directory
-        // promotes such upgrades to full read-write fetches), or a
-        // get_ro_request the directory answered *exclusive* because
-        // it predicted a read-modify-write (§4.1).
-        cosmos_assert(pending_.count(block) &&
-                          (st == LineState::wait_rw ||
-                           st == LineState::wait_upg ||
-                           st == LineState::wait_ro),
-                      "unexpected get_rw_response at node ", node_);
-        if (m.forwarded)
-            send(MsgType::fwd_ack, amap_.home(block), block);
-        complete(block, LineState::read_write);
+      case ActionId::cache_accept_rw:
+        acceptData(m, LineState::read_write);
         break;
-
-      case MsgType::upgrade_response:
-        cosmos_assert(pending_.count(block) &&
-                          st == LineState::wait_upg,
-                      "unexpected upgrade_response at node ", node_);
-        complete(block, LineState::read_write);
+      case ActionId::cache_accept_upgrade:
+        complete(m.block, LineState::read_write);
         break;
-
-      case MsgType::inval_ro_request:
-        ++stats_.invalsReceived;
-        if (st == LineState::read_only) {
-            // Fault injection (checker exercise): pretend to lose
-            // every Nth invalidation -- ack home but keep the copy.
-            if (cfg_.fault.ignoreInvalEvery != 0 &&
-                ++ignoredInvalTick_ % cfg_.fault.ignoreInvalEvery == 0) {
-                send(MsgType::inval_ro_response, m.src, block);
-                break;
-            }
-            setState(block, LineState::invalid);
-        } else if (st == LineState::wait_upg) {
-            // Our shared copy is invalidated while our upgrade is
-            // queued at the directory; the directory will answer the
-            // upgrade with get_rw_response. Drop to wait_rw so that
-            // response is accepted.
-            setState(block, LineState::wait_rw);
-        } else if (st == LineState::invalid &&
-                   cfg_.cacheCapacityBlocks != 0) {
-            // With replacement, the directory's sharer list can be
-            // stale: we silently dropped this copy. Acknowledge.
-            ++stats_.staleInvals;
-        } else if ((st == LineState::wait_ro ||
-                    st == LineState::wait_rw) &&
-                   cfg_.cacheCapacityBlocks != 0) {
-            // Stale inval crossing our re-fetch of a dropped block:
-            // the directory serialized another writer first, so our
-            // queued request will be answered afterwards. Just ack.
-            ++stats_.staleInvals;
-        } else {
-            cosmos_panic("inval_ro_request for block in state ",
-                         toString(st), " at node ", node_);
-        }
-        send(MsgType::inval_ro_response, m.src, block);
+      case ActionId::cache_invalidate_shared:
+        invalidateShared(m);
         break;
-
-      case MsgType::inval_rw_request:
-        ++stats_.invalsReceived;
-        cosmos_assert(st == LineState::read_write,
-                      "inval_rw_request for block in state ",
-                      toString(st), " at node ", node_);
-        setState(block, LineState::invalid);
-        if (m.forwarded) {
-            // Three-hop transfer: hand the data straight to the
-            // requester, plus a revision message home. The response
-            // is marked forwarded so the requester acknowledges home
-            // (the legacy oracle omits the mark, and with it the
-            // fwd_ack -- reproducing the original race).
-            send(m.wantWritable ? MsgType::get_rw_response
-                                : MsgType::get_ro_response,
-                 m.requester, block, !cfg_.legacyForwarding);
-        }
-        send(MsgType::inval_rw_response, m.src, block);
+      case ActionId::cache_demote_upgrade:
+        demoteUpgrade(m);
         break;
-
-      case MsgType::downgrade_request:
-        ++stats_.downgradesReceived;
-        cosmos_assert(st == LineState::read_write,
-                      "downgrade_request for block in state ",
-                      toString(st), " at node ", node_);
-        setState(block, LineState::read_only);
-        if (m.forwarded)
-            send(MsgType::get_ro_response, m.requester, block,
-                 !cfg_.legacyForwarding);
-        send(MsgType::downgrade_response, m.src, block);
+      case ActionId::cache_ack_stale_inval:
+        ackStaleInval(m);
         break;
-
+      case ActionId::cache_surrender_exclusive:
+        surrenderExclusive(m);
+        break;
+      case ActionId::cache_downgrade_line:
+        downgradeLine(m);
+        break;
       default:
-        cosmos_panic("cache ", node_, " received ", m.format());
+        cosmos_panic("cache ", node_, " cannot run action ",
+                     toString(row.action), " for ", m.format());
     }
+}
+
+void
+CacheController::acceptData(const Msg &m, LineState final_state)
+{
+    // Forwarded three-hop data came straight from the former owner;
+    // tell home it arrived so the directory entry can be released
+    // (it queues later requests until then).
+    if (m.forwarded)
+        send(MsgType::fwd_ack, amap_.home(m.block), m.block);
+    complete(m.block, final_state);
+}
+
+void
+CacheController::invalidateShared(const Msg &m)
+{
+    ++stats_.invalsReceived;
+    // Fault injection (checker exercise): pretend to lose every Nth
+    // invalidation -- ack home but keep the copy.
+    if (cfg_.fault.ignoreInvalEvery != 0 &&
+        ++ignoredInvalTick_ % cfg_.fault.ignoreInvalEvery == 0) {
+        send(MsgType::inval_ro_response, m.src, m.block);
+        return;
+    }
+    setState(m.block, LineState::invalid);
+    send(MsgType::inval_ro_response, m.src, m.block);
+}
+
+void
+CacheController::demoteUpgrade(const Msg &m)
+{
+    // Our shared copy is invalidated while our upgrade is queued at
+    // the directory; the directory will answer the upgrade with
+    // get_rw_response. Drop to wait_rw so that response is accepted.
+    ++stats_.invalsReceived;
+    setState(m.block, LineState::wait_rw);
+    send(MsgType::inval_ro_response, m.src, m.block);
+}
+
+void
+CacheController::ackStaleInval(const Msg &m)
+{
+    // With replacement, the directory's sharer list can be stale: we
+    // silently dropped this copy (possibly re-fetching it already --
+    // the directory serialized another writer first, so a queued
+    // request of ours is answered afterwards). Just acknowledge.
+    ++stats_.invalsReceived;
+    ++stats_.staleInvals;
+    send(MsgType::inval_ro_response, m.src, m.block);
+}
+
+void
+CacheController::surrenderExclusive(const Msg &m)
+{
+    ++stats_.invalsReceived;
+    setState(m.block, LineState::invalid);
+    if (m.forwarded) {
+        // Three-hop transfer: hand the data straight to the
+        // requester, plus a revision message home. The response is
+        // marked forwarded so the requester acknowledges home (the
+        // legacy oracle omits the mark, and with it the fwd_ack --
+        // reproducing the original race).
+        send(m.wantWritable ? MsgType::get_rw_response
+                            : MsgType::get_ro_response,
+             m.requester, m.block, !cfg_.legacyForwarding);
+    }
+    send(MsgType::inval_rw_response, m.src, m.block);
+}
+
+void
+CacheController::downgradeLine(const Msg &m)
+{
+    ++stats_.downgradesReceived;
+    setState(m.block, LineState::read_only);
+    if (m.forwarded)
+        send(MsgType::get_ro_response, m.requester, m.block,
+             !cfg_.legacyForwarding);
+    send(MsgType::downgrade_response, m.src, m.block);
 }
 
 } // namespace cosmos::proto

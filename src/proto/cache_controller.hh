@@ -27,6 +27,7 @@
 #include "common/config.hh"
 #include "common/types.hh"
 #include "proto/messages.hh"
+#include "proto/transition_table.hh"
 #include "sim/event_queue.hh"
 
 namespace cosmos::proto
@@ -97,8 +98,12 @@ class CacheController
     using SendFn = std::function<void(const Msg &)>;
     using DoneFn = std::function<void()>;
 
+    /** @p table is the declared protocol table the controller
+     *  dispatches through; it must outlive the controller and match
+     *  @p cfg (Machine and the model stepper each own one). */
     CacheController(NodeId node, const AddrMap &amap,
-                    const MachineConfig &cfg, sim::EventQueue &eq,
+                    const MachineConfig &cfg,
+                    const ProtocolTable &table, sim::EventQueue &eq,
                     SendFn send);
 
     /**
@@ -149,6 +154,24 @@ class CacheController
     void restore(const CacheSnapshot &s, DoneFn on_complete = {});
 
   private:
+    // Named action fragments the transition table's rows reference
+    // (ActionId::cache_*). handleMessage()/access() look the row up
+    // and run the action it names; the actions never decide *whether*
+    // they apply -- the table did.
+    /** Complete an outstanding miss with the arrived data; sends the
+     *  fwd_ack receipt when the data was forwarded three-hop. */
+    void acceptData(const Msg &m, LineState final_state);
+    /** read_only x inval_ro_request (fault injection lives here). */
+    void invalidateShared(const Msg &m);
+    /** wait_upg x inval_ro_request: drop to wait_rw. */
+    void demoteUpgrade(const Msg &m);
+    /** Stale invalidation for a silently dropped line: just ack. */
+    void ackStaleInval(const Msg &m);
+    /** read_write x inval_rw_request (incl. forwarded data reply). */
+    void surrenderExclusive(const Msg &m);
+    /** read_write x downgrade_request (incl. forwarded data reply). */
+    void downgradeLine(const Msg &m);
+
     void complete(Addr block, LineState final_state);
     void send(MsgType t, NodeId dst, Addr block,
               bool forwarded = false);
@@ -160,6 +183,7 @@ class CacheController
     NodeId node_;
     const AddrMap &amap_;
     const MachineConfig &cfg_;
+    const ProtocolTable &table_;
     sim::EventQueue &eq_;
     SendFn sendFn_;
 

@@ -33,12 +33,30 @@ toString(DirState s)
 
 DirectoryController::DirectoryController(NodeId node, const AddrMap &amap,
                                          const MachineConfig &cfg,
+                                         const ProtocolTable &table,
                                          sim::EventQueue &eq, SendFn send)
-    : node_(node), amap_(amap), cfg_(cfg), eq_(eq),
+    : node_(node), amap_(amap), cfg_(cfg), table_(table), eq_(eq),
       sendFn_(std::move(send))
 {
     cosmos_assert(cfg.numNodes <= 64,
                   "full-map sharer bitmask supports at most 64 nodes");
+}
+
+DirGuardView
+DirectoryController::guardView(const Entry &e)
+{
+    DirGuardView v;
+    v.busy = e.busy;
+    v.state = static_cast<std::uint8_t>(e.state);
+    v.sharers = e.sharers;
+    v.pendingAcks = e.pendingAcks;
+    v.genuineUpgrade = e.genuineUpgrade;
+    v.recall = e.recall;
+    v.fwdData = e.fwdData;
+    v.fwdAckPending = e.fwdAckPending;
+    v.waitingEmpty = e.waiting.empty();
+    v.currentType = e.current.type;
+    return v;
 }
 
 DirectoryController::Entry &
@@ -207,159 +225,182 @@ DirectoryController::forward(MsgType t, NodeId dst, Addr block,
 void
 DirectoryController::handleMessage(const Msg &m)
 {
-    switch (m.type) {
-      case MsgType::get_ro_request:
-      case MsgType::get_rw_request:
-      case MsgType::upgrade_request: {
+    // Dispatch picks the declared row for the entry's abstract phase,
+    // the message type, and the guard bits derived from the entry; a
+    // stray response or a message no row covers panics inside
+    // dispatch() with the offending (phase, input, guard) triple.
+    Entry &e = entry(m.block);
+    const DirGuardView view = guardView(e);
+    const TransitionRow &row = table_.dispatch(
+        Role::directory, static_cast<std::uint8_t>(dirPhaseOf(view)),
+        static_cast<std::uint8_t>(m.type),
+        dirMsgGuard(view, m.type, m.src), node_);
+
+    switch (row.action) {
+      case ActionId::dir_queue_request:
         ++stats_.requests;
-        Entry &e = entry(m.block);
-        if (e.busy) {
-            ++stats_.queued;
-            e.waiting.push_back(m);
-            return;
-        }
+        ++stats_.queued;
+        e.waiting.push_back(m);
+        break;
+
+      case ActionId::dir_serve_read:
+      case ActionId::dir_serve_write:
+      case ActionId::dir_serve_upgrade:
+      case ActionId::dir_promote_upgrade:
+        ++stats_.requests;
         e.busy = true;
         serve(m);
         break;
-      }
 
-      case MsgType::inval_ro_response: {
-        Entry &e = entry(m.block);
-        cosmos_assert(e.busy && e.pendingAcks > 0,
-                      "stray inval_ro_response at directory ", node_);
-        e.sharers &= ~bit(m.src);
-        if (--e.pendingAcks == 0) {
-            // All shared copies gone; grant exclusivity.
-            const Msg &req = e.current;
-            enter(e, DirState::exclusive);
-            e.sharers = 0;
-            e.owner = req.src;
-            respondAndFinish(e.genuineUpgrade
-                                 ? MsgType::upgrade_response
-                                 : MsgType::get_rw_response,
-                             req.src, m.block, !e.genuineUpgrade);
-        }
+      case ActionId::dir_inval_ack:
+        onInvalAck(e, m);
         break;
-      }
+      case ActionId::dir_revision:
+        onRevision(e, m);
+        break;
+      case ActionId::dir_downgrade_ack:
+        onDowngradeAck(e, m);
+        break;
+      case ActionId::dir_fwd_ack:
+        onFwdAck(e, m);
+        break;
 
-      case MsgType::inval_rw_response: {
-        Entry &e = entry(m.block);
-        cosmos_assert(e.busy && e.pendingAcks == 1,
-                      "stray inval_rw_response at directory ", node_);
-        e.pendingAcks = 0;
-        if (e.recall) {
-            // Voluntary recall completed: the data is home, nobody
-            // holds a copy, and there is no requester to answer.
-            e.recall = false;
-            enter(e, DirState::idle);
-            e.sharers = 0;
-            e.owner = invalid_node;
-            finish(m.block);
-            break;
-        }
+      default:
+        cosmos_panic("directory ", node_, " cannot run action ",
+                     toString(row.action), " for ", m.format());
+    }
+}
+
+void
+DirectoryController::onInvalAck(Entry &e, const Msg &m)
+{
+    cosmos_assert(e.busy && e.pendingAcks > 0,
+                  "stray inval_ro_response at directory ", node_);
+    e.sharers &= ~bit(m.src);
+    if (--e.pendingAcks == 0) {
+        // All shared copies gone; grant exclusivity.
         const Msg &req = e.current;
-        if (e.fwdData) {
-            // The former owner already answered the requester
-            // directly (three-hop transfer); just settle the state.
-            if (req.type == MsgType::get_ro_request) {
-                enter(e, DirState::shared);
-                e.sharers = bit(req.src);
-                e.owner = invalid_node;
-            } else {
-                enter(e, DirState::exclusive);
-                e.sharers = 0;
-                e.owner = req.src;
-            }
-            if (e.fwdAckPending) {
-                // Stay busy until the requester's fwd_ack confirms
-                // the forwarded data arrived; releasing now would let
-                // a queued request's invalidation race the owner's
-                // direct reply to the requester.
-                break;
-            }
-            e.fwdData = false;
-            finish(m.block);
-            break;
-        }
+        enter(e, DirState::exclusive);
+        e.sharers = 0;
+        e.owner = req.src;
+        respondAndFinish(e.genuineUpgrade ? MsgType::upgrade_response
+                                          : MsgType::get_rw_response,
+                         req.src, m.block, !e.genuineUpgrade);
+    }
+}
+
+void
+DirectoryController::onRevision(Entry &e, const Msg &m)
+{
+    cosmos_assert(e.busy && e.pendingAcks == 1,
+                  "stray inval_rw_response at directory ", node_);
+    e.pendingAcks = 0;
+    if (e.recall) {
+        // Voluntary recall completed: the data is home, nobody
+        // holds a copy, and there is no requester to answer.
+        e.recall = false;
+        enter(e, DirState::idle);
+        e.sharers = 0;
+        e.owner = invalid_node;
+        finish(m.block);
+        return;
+    }
+    const Msg &req = e.current;
+    if (e.fwdData) {
+        // The former owner already answered the requester
+        // directly (three-hop transfer); just settle the state.
         if (req.type == MsgType::get_ro_request) {
-            if (speculation_ &&
-                speculation_->grantExclusiveOnRead(m.block, req.src)) {
-                // Predicted read-modify-write: hand the reader an
-                // exclusive copy (§4.1).
-                ++stats_.exclusiveGrants;
-                enter(e, DirState::exclusive);
-                e.sharers = 0;
-                e.owner = req.src;
-                respondAndFinish(MsgType::get_rw_response, req.src,
-                                 m.block, false);
-                break;
-            }
-            // Half-migratory: former owner invalidated; only the
-            // reader holds a copy now.
             enter(e, DirState::shared);
             e.sharers = bit(req.src);
             e.owner = invalid_node;
-            respondAndFinish(MsgType::get_ro_response, req.src,
-                             m.block, false);
         } else {
+            enter(e, DirState::exclusive);
+            e.sharers = 0;
+            e.owner = req.src;
+        }
+        if (e.fwdAckPending) {
+            // Stay busy until the requester's fwd_ack confirms
+            // the forwarded data arrived; releasing now would let
+            // a queued request's invalidation race the owner's
+            // direct reply to the requester.
+            return;
+        }
+        e.fwdData = false;
+        finish(m.block);
+        return;
+    }
+    if (req.type == MsgType::get_ro_request) {
+        if (speculation_ &&
+            speculation_->grantExclusiveOnRead(m.block, req.src)) {
+            // Predicted read-modify-write: hand the reader an
+            // exclusive copy (§4.1).
+            ++stats_.exclusiveGrants;
             enter(e, DirState::exclusive);
             e.sharers = 0;
             e.owner = req.src;
             respondAndFinish(MsgType::get_rw_response, req.src,
                              m.block, false);
+            return;
         }
-        break;
-      }
-
-      case MsgType::downgrade_response: {
-        Entry &e = entry(m.block);
-        cosmos_assert(e.busy && e.pendingAcks == 1,
-                      "stray downgrade_response at directory ", node_);
-        cosmos_assert(e.current.type == MsgType::get_ro_request,
-                      "downgrade_response outside a read transaction");
-        e.pendingAcks = 0;
-        const Msg &req = e.current;
+        // Half-migratory: former owner invalidated; only the
+        // reader holds a copy now.
         enter(e, DirState::shared);
-        e.sharers = bit(m.src) | bit(req.src);
+        e.sharers = bit(req.src);
         e.owner = invalid_node;
-        if (e.fwdData) {
-            // Former owner already sent the data to the reader.
-            if (e.fwdAckPending)
-                break; // wait for the reader's fwd_ack
-            e.fwdData = false;
-            finish(m.block);
-            break;
-        }
         respondAndFinish(MsgType::get_ro_response, req.src, m.block,
                          false);
-        break;
-      }
-
-      case MsgType::fwd_ack: {
-        Entry &e = entry(m.block);
-        cosmos_assert(e.busy && e.fwdAckPending,
-                      "stray fwd_ack at directory ", node_);
-        cosmos_assert(m.src == e.current.src,
-                      "fwd_ack from node ", m.src,
-                      " but the transaction's requester is ",
-                      e.current.src);
-        ++stats_.fwdAcks;
-        e.fwdAckPending = false;
-        if (e.pendingAcks == 0) {
-            // The owner's revision message already settled the entry;
-            // the ack was the last outstanding leg.
-            e.fwdData = false;
-            finish(m.block);
-        }
-        // Otherwise the ack overtook the owner's revision message
-        // (independent channels); the inval_rw_response /
-        // downgrade_response handler will settle state and finish.
-        break;
-      }
-
-      default:
-        cosmos_panic("directory ", node_, " received ", m.format());
+    } else {
+        enter(e, DirState::exclusive);
+        e.sharers = 0;
+        e.owner = req.src;
+        respondAndFinish(MsgType::get_rw_response, req.src, m.block,
+                         false);
     }
+}
+
+void
+DirectoryController::onDowngradeAck(Entry &e, const Msg &m)
+{
+    cosmos_assert(e.busy && e.pendingAcks == 1,
+                  "stray downgrade_response at directory ", node_);
+    cosmos_assert(e.current.type == MsgType::get_ro_request,
+                  "downgrade_response outside a read transaction");
+    e.pendingAcks = 0;
+    const Msg &req = e.current;
+    enter(e, DirState::shared);
+    e.sharers = bit(m.src) | bit(req.src);
+    e.owner = invalid_node;
+    if (e.fwdData) {
+        // Former owner already sent the data to the reader.
+        if (e.fwdAckPending)
+            return; // wait for the reader's fwd_ack
+        e.fwdData = false;
+        finish(m.block);
+        return;
+    }
+    respondAndFinish(MsgType::get_ro_response, req.src, m.block,
+                     false);
+}
+
+void
+DirectoryController::onFwdAck(Entry &e, const Msg &m)
+{
+    cosmos_assert(e.busy && e.fwdAckPending,
+                  "stray fwd_ack at directory ", node_);
+    cosmos_assert(m.src == e.current.src, "fwd_ack from node ", m.src,
+                  " but the transaction's requester is ",
+                  e.current.src);
+    ++stats_.fwdAcks;
+    e.fwdAckPending = false;
+    if (e.pendingAcks == 0) {
+        // The owner's revision message already settled the entry;
+        // the ack was the last outstanding leg.
+        e.fwdData = false;
+        finish(m.block);
+    }
+    // Otherwise the ack overtook the owner's revision message
+    // (independent channels); the inval_rw_response /
+    // downgrade_response handler will settle state and finish.
 }
 
 void
@@ -373,22 +414,33 @@ DirectoryController::serve(const Msg &m)
     e.fwdData = false;
     e.fwdAckPending = false;
 
-    switch (m.type) {
-      case MsgType::get_ro_request:
+    // Backlogged requests were dispatched as dir_queue_request on
+    // arrival; re-dispatch against the quiescent entry state to pick
+    // the serving row (the entry is busy on this request's own
+    // behalf, so the queued guard no longer applies). Arrival-time
+    // serves re-dispatch to the same row they arrived on.
+    DirGuardView view = guardView(e);
+    view.busy = false;
+    const TransitionRow &row = table_.dispatch(
+        Role::directory, static_cast<std::uint8_t>(dirPhaseOf(view)),
+        static_cast<std::uint8_t>(m.type),
+        dirMsgGuard(view, m.type, m.src), node_);
+
+    switch (row.action) {
+      case ActionId::dir_serve_read:
         serveRead(e, m);
         break;
-      case MsgType::get_rw_request:
+      case ActionId::dir_serve_write:
         serveWrite(e, m, false);
         break;
-      case MsgType::upgrade_request:
-        if (e.state == DirState::shared && (e.sharers & bit(m.src))) {
-            serveWrite(e, m, true);
-        } else {
-            // The requester's shared copy was invalidated while this
-            // upgrade was in flight; promote to a full write fetch.
-            ++stats_.upgradePromotions;
-            serveWrite(e, m, false);
-        }
+      case ActionId::dir_serve_upgrade:
+        serveWrite(e, m, true);
+        break;
+      case ActionId::dir_promote_upgrade:
+        // The requester's shared copy was invalidated while this
+        // upgrade was in flight; promote to a full write fetch.
+        ++stats_.upgradePromotions;
+        serveWrite(e, m, false);
         break;
       default:
         cosmos_panic("serve() on non-request ", m.format());

@@ -30,6 +30,7 @@
 #include "common/config.hh"
 #include "common/types.hh"
 #include "proto/messages.hh"
+#include "proto/transition_table.hh"
 #include "sim/event_queue.hh"
 
 namespace cosmos::proto
@@ -152,8 +153,12 @@ class DirectoryController
   public:
     using SendFn = std::function<void(const Msg &)>;
 
+    /** @p table is the declared protocol table the controller
+     *  dispatches through; it must outlive the controller and match
+     *  @p cfg (Machine and the model stepper each own one). */
     DirectoryController(NodeId node, const AddrMap &amap,
-                        const MachineConfig &cfg, sim::EventQueue &eq,
+                        const MachineConfig &cfg,
+                        const ProtocolTable &table, sim::EventQueue &eq,
                         SendFn send);
 
     /** Deliver a protocol message addressed to this directory. */
@@ -228,6 +233,26 @@ class DirectoryController
     };
 
     Entry &entry(Addr block);
+    /** The guard-relevant slice of @p e, in the shape the transition
+     *  table's guard predicates are declared over. The model stepper
+     *  builds the identical view from a DirEntrySnapshot, so the two
+     *  always derive the same guards. */
+    static DirGuardView guardView(const Entry &e);
+
+    // Named action fragments the transition table's rows reference
+    // (ActionId::dir_*). handleMessage() looks the row up and runs
+    // the action it names; stray-message asserts stay inside the
+    // bodies so trapped reorder-mode failures keep their messages.
+    /** inval_ro_response bookkeeping; answers the writer on the last
+     *  ack. */
+    void onInvalAck(Entry &e, const Msg &m);
+    /** inval_rw_response: settle a recall/write/forwarded transfer. */
+    void onRevision(Entry &e, const Msg &m);
+    /** downgrade_response: owner kept a shared copy (DASH policy). */
+    void onDowngradeAck(Entry &e, const Msg &m);
+    /** fwd_ack from the requester closing a three-hop transfer. */
+    void onFwdAck(Entry &e, const Msg &m);
+
     /** Transition @p e, keeping the per-state transition census. */
     void enter(Entry &e, DirState st);
     void serve(const Msg &m);
@@ -248,6 +273,7 @@ class DirectoryController
     NodeId node_;
     const AddrMap &amap_;
     const MachineConfig &cfg_;
+    const ProtocolTable &table_;
     sim::EventQueue &eq_;
     SendFn sendFn_;
 

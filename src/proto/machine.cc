@@ -7,6 +7,7 @@ namespace cosmos::proto
 
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg), amap_(cfg.blockBytes, cfg.pageBytes, cfg.numNodes),
+      table_(ProtocolTable::build(cfg)),
       network_(eq_, cfg.numNodes, cfg.networkLatency,
                cfg.networkInterfaceLatency)
 {
@@ -22,9 +23,9 @@ Machine::Machine(const MachineConfig &cfg)
     directories_.reserve(cfg_.numNodes);
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         caches_.push_back(std::make_unique<CacheController>(
-            n, amap_, cfg_, eq_, send));
+            n, amap_, cfg_, table_, eq_, send));
         directories_.push_back(std::make_unique<DirectoryController>(
-            n, amap_, cfg_, eq_, send));
+            n, amap_, cfg_, table_, eq_, send));
         network_.attach(n, [this](const Msg &m, bool local) {
             deliver(m, local);
         });

@@ -26,6 +26,7 @@
 #include "proto/cache_controller.hh"
 #include "proto/directory_controller.hh"
 #include "proto/messages.hh"
+#include "proto/transition_table.hh"
 #include "sim/event_queue.hh"
 
 namespace cosmos::net
@@ -98,6 +99,10 @@ class Machine
     const AddrMap &addrMap() const { return amap_; }
     const MachineConfig &config() const { return cfg_; }
 
+    /** The declared transition table the controllers dispatch
+     *  through (built once per machine from the configuration). */
+    const ProtocolTable &table() const { return table_; }
+
     CacheController &cache(NodeId n);
     const CacheController &cache(NodeId n) const;
     DirectoryController &directory(NodeId n);
@@ -167,6 +172,8 @@ class Machine
 
     MachineConfig cfg_;
     AddrMap amap_;
+    /** Declared before the controllers: they keep a reference. */
+    ProtocolTable table_;
     sim::EventQueue eq_;
     net::Network<Msg> network_;
     std::vector<std::unique_ptr<CacheController>> caches_;

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Static protocol analyzer (src/lint) tests.
+ *
+ * The shipped transition table must lint clean under every protocol
+ * variant, and each of the five planted table mutations must trip
+ * exactly the lint pass built to catch its bug class -- the mutation
+ * tests pin the finding's kind, role, detail and row provenance, and
+ * the cosmos-lint-v1 JSON rendering of each.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hh"
+#include "lint/mutate.hh"
+#include "lint/report.hh"
+#include "proto/transition_table.hh"
+
+namespace
+{
+
+using namespace cosmos;
+
+MachineConfig
+config(bool forwarding, bool legacy = false, unsigned capacity = 0,
+       OwnerReadPolicy policy = OwnerReadPolicy::half_migratory)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 3;
+    cfg.forwarding = forwarding;
+    cfg.legacyForwarding = legacy;
+    cfg.cacheCapacityBlocks = capacity;
+    cfg.ownerReadPolicy = policy;
+    return cfg;
+}
+
+/** Analyze the table for @p cfg after applying @p kind. */
+std::vector<lint::Finding>
+analyzeMutated(const MachineConfig &cfg, lint::MutationKind kind)
+{
+    proto::ProtocolTable table = proto::ProtocolTable::build(cfg);
+    lint::applyMutation(table, kind);
+    return lint::analyze(table);
+}
+
+/** Findings of @p kind, in table order. */
+std::vector<lint::Finding>
+ofKind(const std::vector<lint::Finding> &all, lint::Finding::Kind kind)
+{
+    std::vector<lint::Finding> out;
+    for (const lint::Finding &f : all)
+        if (f.kind == kind)
+            out.push_back(f);
+    return out;
+}
+
+TEST(LintClean, ShippedTableHasZeroFindings)
+{
+    // Every protocol variant the model checker pins must lint clean:
+    // base, forwarding, forwarding+capacity, legacy forwarding, and
+    // the downgrade owner-read policy.
+    const MachineConfig variants[] = {
+        config(false),
+        config(false, false, 1),
+        config(true),
+        config(true, false, 1),
+        config(true, true),
+        config(false, false, 0, OwnerReadPolicy::downgrade),
+        config(true, false, 0, OwnerReadPolicy::downgrade),
+    };
+    for (const MachineConfig &cfg : variants) {
+        const proto::ProtocolTable table =
+            proto::ProtocolTable::build(cfg);
+        const auto findings = lint::analyze(table);
+        std::string all;
+        for (const lint::Finding &f : findings)
+            all += f.detail + "\n";
+        EXPECT_TRUE(findings.empty())
+            << "forwarding=" << cfg.forwarding
+            << " legacy=" << cfg.legacyForwarding
+            << " capacity=" << cfg.cacheCapacityBlocks << "\n"
+            << all;
+    }
+}
+
+TEST(LintClean, JsonArtifactIsCleanAndWellFormed)
+{
+    const proto::ProtocolTable table =
+        proto::ProtocolTable::build(config(true));
+    const std::string json = lint::renderJson(
+        table, lint::analyze(table), lint::MutationKind::none);
+    EXPECT_NE(json.find("\"format\": \"cosmos-lint-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mutation\": \"none\""), std::string::npos);
+    EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+    EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
+}
+
+TEST(LintMutation, MissingRowTripsCompleteness)
+{
+    const auto all =
+        analyzeMutated(config(true), lint::MutationKind::missing_row);
+    const auto hits = ofKind(all, lint::Finding::Kind::missing_row);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].role, proto::Role::cache);
+    EXPECT_EQ(hits[0].detail,
+              "cache wait_upg x inval_ro_request: no transition row "
+              "and no declared-unreachable marker");
+    EXPECT_TRUE(hits[0].rows.empty());
+}
+
+TEST(LintMutation, DuplicateRowTripsDeterminism)
+{
+    const auto all = analyzeMutated(
+        config(true), lint::MutationKind::overlapping_rows);
+    const auto hits =
+        ofKind(all, lint::Finding::Kind::overlapping_rows);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].role, proto::Role::cache);
+    EXPECT_NE(hits[0].detail.find("match the same guard"),
+              std::string::npos);
+    // Both conflicting rows are referenced, with their declaration
+    // sites.
+    ASSERT_EQ(hits[0].rows.size(), 2u);
+    EXPECT_NE(hits[0].rows[0].where.find("transition_table.cc:"),
+              std::string::npos);
+}
+
+TEST(LintMutation, DroppedResponseTripsConservation)
+{
+    const auto all = analyzeMutated(
+        config(true), lint::MutationKind::dropped_response);
+    const auto hits =
+        ofKind(all, lint::Finding::Kind::dropped_response);
+    ASSERT_GE(hits.size(), 1u);
+    EXPECT_EQ(hits[0].role, proto::Role::directory);
+    EXPECT_NE(hits[0].detail.find("the requester would wait forever"),
+              std::string::npos);
+    ASSERT_EQ(hits[0].rows.size(), 1u);
+}
+
+TEST(LintMutation, EarlyPhaseExitTripsChannelDiscipline)
+{
+    const auto all = analyzeMutated(
+        config(true), lint::MutationKind::out_of_order_consume);
+    const auto hits =
+        ofKind(all, lint::Finding::Kind::out_of_order_consume);
+    ASSERT_GE(hits.size(), 1u);
+    EXPECT_EQ(hits[0].role, proto::Role::directory);
+    EXPECT_NE(hits[0].detail.find("has no row in next state"),
+              std::string::npos);
+    // The finding names the consuming row and the in-flight message's
+    // candidate row.
+    ASSERT_EQ(hits[0].rows.size(), 2u);
+}
+
+TEST(LintMutation, ForwardedSweepTripsAsymmetry)
+{
+    const auto all = analyzeMutated(
+        config(true), lint::MutationKind::forwarding_asymmetry);
+    const auto hits =
+        ofKind(all, lint::Finding::Kind::forwarding_asymmetry);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].role, proto::Role::cache);
+    EXPECT_NE(hits[0].detail.find("never forwarded"),
+              std::string::npos);
+}
+
+TEST(LintMutation, JsonRendersTheFinding)
+{
+    proto::ProtocolTable table =
+        proto::ProtocolTable::build(config(true));
+    lint::applyMutation(table, lint::MutationKind::missing_row);
+    const std::string json =
+        lint::renderJson(table, lint::analyze(table),
+                         lint::MutationKind::missing_row);
+    EXPECT_NE(json.find("\"mutation\": \"missing_row\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"missing_row\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+}
+
+TEST(LintMutation, ParseRoundTripsEveryKind)
+{
+    for (const char *name :
+         {"none", "missing_row", "overlapping_rows", "dropped_response",
+          "out_of_order_consume", "forwarding_asymmetry"}) {
+        lint::MutationKind kind{};
+        ASSERT_TRUE(lint::parseMutation(name, kind)) << name;
+        EXPECT_STREQ(lint::toString(kind), name);
+    }
+    lint::MutationKind kind{};
+    EXPECT_FALSE(lint::parseMutation("bogus", kind));
+}
+
+TEST(LintProvenance, EveryRowCarriesADeclarationSite)
+{
+    const proto::ProtocolTable table =
+        proto::ProtocolTable::build(config(true, false, 1));
+    for (const proto::TransitionRow &r : table.rows()) {
+        EXPECT_NE(r.where().find("transition_table.cc:"),
+                  std::string::npos)
+            << r.format();
+    }
+}
+
+} // namespace

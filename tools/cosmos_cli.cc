@@ -22,8 +22,27 @@
  *   model [options]              exhaustively enumerate every
  *                                reachable protocol state of a small
  *                                configuration (src/model), check
- *                                safety invariants, and lint the
- *                                observed transition table
+ *                                safety invariants, lint the observed
+ *                                transition table, and diff it
+ *                                against the declared one
+ *   lint [options]               statically analyze the declared
+ *                                transition table (src/lint): no
+ *                                exploration, just the rows --
+ *                                completeness, determinism, message
+ *                                conservation, channel discipline,
+ *                                forwarding asymmetry
+ *
+ * Lint options:
+ *   --nodes N        configured node count (default 2)
+ *   --forwarding / --legacy-forwarding / --policy P
+ *                    select the protocol variant whose table to build
+ *   --capacity N     cache capacity in blocks (0 = unlimited);
+ *                    enables the stale-invalidation rows
+ *   --mutate KIND    plant a table bug before analyzing (must-fail CI
+ *                    legs): missing_row | overlapping_rows |
+ *                    dropped_response | out_of_order_consume |
+ *                    forwarding_asymmetry
+ *   --out FILE       write the cosmos-lint-v1 JSON artifact
  *
  * Model options:
  *   --nodes N        nodes in the modeled machine (default 2)
@@ -134,9 +153,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "check/fuzzer.hh"
 #include "common/log.hh"
 #include "common/table.hh"
+#include "lint/analyzer.hh"
+#include "lint/mutate.hh"
+#include "lint/report.hh"
 #include "forge/score.hh"
 #include "forge/synth.hh"
 #include "forge/text_trace.hh"
@@ -202,6 +226,10 @@ struct CliArgs
     bool forwarding = false;
     bool legacyForwarding = false;
     std::string counterexampleOut;
+
+    // lint-only options
+    std::string mutate;
+    unsigned lintCapacity = 0;
 };
 
 [[noreturn]] void
@@ -210,7 +238,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: cosmos "
-        "<list|run|gen|analyze|sweep|accel|figures|census|fuzz|model> "
+        "<list|run|gen|analyze|sweep|accel|figures|census|fuzz|model"
+        "|lint> "
         "[target] [--iterations N] [--seed S]\n"
         "              [--policy half-migratory|downgrade] "
         "[--depth D] [--filter F] [--threads N] [--out FILE]\n"
@@ -229,7 +258,10 @@ usage()
         "[--max-states N] [--forwarding] [--legacy-forwarding]\n"
         "              [--policy half-migratory|downgrade] "
         "[--inject-ignore-inval N] [--out FILE]\n"
-        "              [--counterexample-out FILE]\n");
+        "              [--counterexample-out FILE]\n"
+        "       cosmos lint [--nodes N] [--forwarding] "
+        "[--legacy-forwarding] [--policy P] [--capacity N]\n"
+        "              [--mutate KIND] [--out FILE]\n");
     std::exit(2);
 }
 
@@ -321,6 +353,11 @@ parse(int argc, char **argv)
             args.legacyForwarding = true;
         } else if (flag == "--counterexample-out") {
             args.counterexampleOut = value();
+        } else if (flag == "--mutate") {
+            args.mutate = value();
+        } else if (flag == "--capacity") {
+            args.lintCapacity =
+                static_cast<unsigned>(std::atoi(value()));
         } else {
             usage();
         }
@@ -803,6 +840,49 @@ cmdModel(const CliArgs &args)
 }
 
 int
+cmdLint(const CliArgs &args)
+{
+    lint::MutationKind kind = lint::MutationKind::none;
+    if (!args.mutate.empty() &&
+        !lint::parseMutation(args.mutate, kind)) {
+        std::fprintf(stderr, "unknown --mutate kind '%s'\n",
+                     args.mutate.c_str());
+        return 2;
+    }
+
+    MachineConfig cfg;
+    cfg.numNodes =
+        static_cast<NodeId>(args.haveNodes ? args.fuzzNodes : 2u);
+    cfg.forwarding = args.forwarding;
+    cfg.legacyForwarding = args.legacyForwarding;
+    cfg.ownerReadPolicy = args.policy;
+    cfg.cacheCapacityBlocks = args.lintCapacity;
+
+    proto::ProtocolTable table = proto::ProtocolTable::build(cfg);
+    if (kind != lint::MutationKind::none) {
+        std::printf("mutation: %s\n",
+                    lint::applyMutation(table, kind).c_str());
+    }
+
+    const std::vector<lint::Finding> findings = lint::analyze(table);
+    std::fputs(lint::renderReport(table, findings, kind).c_str(),
+               stdout);
+
+    if (!args.out.empty()) {
+        std::ofstream f(args.out);
+        if (f)
+            f << lint::renderJson(table, findings, kind);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.out.c_str());
+            return 2;
+        }
+        std::printf("lint report written to %s\n", args.out.c_str());
+    }
+    return findings.empty() ? 0 : 1;
+}
+
+int
 cmdFuzz(const CliArgs &args)
 {
     if (!args.replayModel.empty())
@@ -871,6 +951,8 @@ dispatch(const CliArgs &args)
         return cmdFuzz(args);
     if (args.command == "model")
         return cmdModel(args);
+    if (args.command == "lint")
+        return cmdLint(args);
     usage();
 }
 
